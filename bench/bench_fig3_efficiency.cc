@@ -1,0 +1,60 @@
+// Figure 3: efficiency comparison. (a) total test time and (b) total
+// meta-training time per method, per dataset. The paper plots log-scale
+// bars; this harness prints the underlying numbers in milliseconds. Only
+// methods with a meta-training stage appear in part (b), matching the
+// paper ("ATC, ACQ, CTC, GPN, Supervised, ICS-GNN and AQD-GNN do not
+// involve this meta training stage" -- GPN does pre-train its encoder here,
+// so its training time is reported like the paper's Fig. 3b does).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cgnp;
+  using namespace cgnp::bench;
+  BenchOptions opt = ParseOptions(argc, argv);
+
+  std::printf("Figure 3: training & test time per method (ms, scale=%s)\n",
+              opt.paper_scale ? "paper" : "small");
+
+  const DatasetProfile datasets[] = {CiteseerProfile(), ArxivProfile(),
+                                     RedditProfile(), DblpProfile()};
+  for (const auto& profile : datasets) {
+    if (!DatasetSelected(opt, profile.name)) continue;
+    Rng rng(opt.seed);
+    const Graph g = MakeDataset(profile, &rng)[0];
+    Rng task_rng(opt.seed + 1);
+    const TaskSplit split = MakeSingleGraphTasks(
+        g, TaskRegime::kSgsc, opt.task, opt.train_tasks, opt.valid_tasks,
+        opt.test_tasks, &task_rng);
+    if (split.train.empty() || split.test.empty()) continue;
+    PrintTableHeader(profile.name + "  (Fig. 3a test time / 3b train time)");
+    RunRoster(opt, g.has_attributes(), split, profile.name);
+  }
+
+  // Facebook (MGOD) and Cite2Cora (MGDD) columns of Fig. 3.
+  if (DatasetSelected(opt, "Facebook")) {
+    Rng rng(opt.seed);
+    const auto graphs = MakeDataset(FacebookProfile(), &rng);
+    Rng task_rng(opt.seed + 2);
+    const TaskSplit split = MakeMultiGraphTasks(graphs, opt.task, &task_rng);
+    if (!split.train.empty() && !split.test.empty()) {
+      PrintTableHeader("Facebook  (Fig. 3a/3b)");
+      RunRoster(opt, /*attributed=*/true, split, "Facebook");
+    }
+  }
+  if (DatasetSelected(opt, "Cite2Cora")) {
+    Rng rng(opt.seed + 17);
+    const Graph citeseer = MakeDataset(CiteseerProfile(), &rng)[0];
+    const Graph cora = MakeDataset(CoraProfile(), &rng)[0];
+    Rng task_rng(opt.seed + 3);
+    const TaskSplit split =
+        MakeCrossDatasetTasks(citeseer, cora, opt.task, opt.train_tasks,
+                              opt.valid_tasks, opt.test_tasks, &task_rng);
+    if (!split.train.empty() && !split.test.empty()) {
+      PrintTableHeader("Cite2Cora  (Fig. 3a/3b)");
+      RunRoster(opt, /*attributed=*/true, split, "Cite2Cora");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks for the graph substrate: decomposition
+// and sampling primitives used by the classical baselines and the task
+// generators.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "graph/algorithms.h"
+#include "graph/sampling.h"
+
+namespace cgnp {
+namespace {
+
+Graph MakeGraph(int64_t n, double degree = 10.0) {
+  Rng rng(42);
+  SyntheticConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_communities = std::max<int64_t>(2, n / 100);
+  cfg.intra_degree = degree * 0.8;
+  cfg.inter_degree = degree * 0.2;
+  return GenerateSyntheticGraph(cfg, &rng);
+}
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNumbers(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TrussDecomposition(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  const EdgeList el = BuildEdgeList(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrussNumbers(g, el));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TrussDecomposition)->Arg(1000)->Arg(10000);
+
+void BM_ClusteringCoefficients(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LocalClusteringCoefficients(g));
+  }
+}
+BENCHMARK(BM_ClusteringCoefficients)->Arg(1000)->Arg(10000);
+
+void BM_BfsSample(benchmark::State& state) {
+  Graph g = MakeGraph(10000);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BfsSample(g, rng.NextInt(g.num_nodes()),
+                                       state.range(0), &rng));
+  }
+}
+BENCHMARK(BM_BfsSample)->Arg(200)->Arg(2000);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  Graph g = MakeGraph(10000);
+  Rng rng(8);
+  const auto nodes = BfsSample(g, 0, state.range(0), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InducedSubgraph(g, nodes).num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(200)->Arg(2000);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(9);
+    benchmark::DoNotOptimize(MakeGraph(state.range(0)).num_edges());
+  }
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cgnp
+
+BENCHMARK_MAIN();

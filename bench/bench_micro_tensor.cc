@@ -1,0 +1,100 @@
+// Google-benchmark microbenchmarks for the tensor/autograd substrate: the
+// inner-loop operations every training step in the library is built from.
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Randn({n, n}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn({n, n}, &rng, 1.0f, /*requires_grad=*/true);
+  for (auto _ : state) {
+    Tensor loss = Sum(MatMul(a, b));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpMMChainGcnLayer(benchmark::State& state) {
+  // A GCN layer's core: SpMM over a sparse graph then a dense projection.
+  const int64_t n = state.range(0);
+  GraphBuilder builder(n);
+  Rng rng(3);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int j = 0; j < 8; ++j) builder.AddEdge(v, rng.NextInt(n));
+  }
+  Graph g = builder.Build();
+  Tensor x = Tensor::Randn({n, 64}, &rng);
+  Tensor w = Tensor::Randn({64, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(SpMM(g.GcnAdjacency(), x), w).data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 64);
+}
+BENCHMARK(BM_SpMMChainGcnLayer)->Arg(1000)->Arg(10000);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  GraphBuilder builder(n);
+  Rng rng(4);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int j = 0; j < 8; ++j) builder.AddEdge(v, rng.NextInt(n));
+  }
+  Graph g = builder.Build();
+  const auto& ei = g.AttentionEdges();
+  Tensor scores =
+      Tensor::Randn({static_cast<int64_t>(ei.src.size()), 1}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SegmentSoftmax(scores, ei.seg_ptr).data());
+  }
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1000)->Arg(10000);
+
+void BM_AdamStep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor p = Tensor::Randn({n, n}, &rng, 1.0f, /*requires_grad=*/true);
+  p.mutable_grad().assign(n * n, 0.01f);
+  Adam opt({p}, 1e-3f);
+  for (auto _ : state) {
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_AdamStep)->Arg(64)->Arg(256);
+
+void BM_BceWithLogits(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor logits = Tensor::Randn({n, 1}, &rng);
+  std::vector<float> targets(n, 1.0f), mask(n, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BceWithLogits(logits, targets, mask).Item());
+  }
+}
+BENCHMARK(BM_BceWithLogits)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace cgnp
+
+BENCHMARK_MAIN();

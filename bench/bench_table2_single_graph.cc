@@ -1,0 +1,49 @@
+// Table II: performance on Single-Graph Shared-Communities (SGSC) and
+// Single-Graph Disjoint-Communities (SGDC) tasks, 1-shot and 5-shot, over
+// the four single-graph datasets the paper uses (Citeseer, Arxiv, Reddit,
+// DBLP), for all baselines and the three CGNP variants.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cgnp;
+  using namespace cgnp::bench;
+  BenchOptions opt = ParseOptions(argc, argv);
+
+  const DatasetProfile datasets[] = {CiteseerProfile(), ArxivProfile(),
+                                     RedditProfile(), DblpProfile()};
+  std::printf("Table II: SGSC / SGDC tasks (scale=%s, seed=%llu)\n",
+              opt.paper_scale ? "paper" : "small",
+              static_cast<unsigned long long>(opt.seed));
+
+  for (const auto& profile : datasets) {
+    if (!DatasetSelected(opt, profile.name)) continue;
+    Rng rng(opt.seed);
+    const Graph g = MakeDataset(profile, &rng)[0];
+    const bool attributed = g.has_attributes();
+    for (TaskRegime regime : {TaskRegime::kSgsc, TaskRegime::kSgdc}) {
+      for (int64_t shots : {int64_t{1}, int64_t{5}}) {
+        BenchOptions run = opt;
+        run.task.shots = shots;
+        Rng task_rng(opt.seed + shots);
+        const TaskSplit split =
+            MakeSingleGraphTasks(g, regime, run.task, run.train_tasks,
+                                 run.valid_tasks, run.test_tasks, &task_rng);
+        if (split.train.empty() || split.test.empty()) {
+          std::printf("\n[%s %s %lld-shot] skipped: could not sample tasks\n",
+                      profile.name.c_str(), TaskRegimeName(regime),
+                      static_cast<long long>(shots));
+          continue;
+        }
+        char title[128];
+        std::snprintf(title, sizeof(title), "%s  %s  %lld-shot",
+                      profile.name.c_str(), TaskRegimeName(regime),
+                      static_cast<long long>(shots));
+        PrintTableHeader(title);
+        RunRoster(run, attributed, split, title);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "meta/aqd_gnn.h"
+#include "meta/classical.h"
+#include "meta/feat_trans.h"
+#include "meta/gpn.h"
+#include "meta/ics_gnn.h"
+#include "meta/maml.h"
+#include "meta/reptile.h"
+#include "meta/supervised.h"
+
+namespace cgnp {
+namespace bench {
+
+namespace {
+
+void ApplyScale(BenchOptions* opt) {
+  if (opt->paper_scale) {
+    // Section VII-A parameters. Expect very long CPU runtimes.
+    opt->train_tasks = 100;
+    opt->valid_tasks = 50;
+    opt->test_tasks = 50;
+    opt->task.subgraph_size = 200;
+    opt->task.query_set_size = 30;
+    opt->method.hidden_dim = 128;
+    opt->method.num_layers = 3;
+    opt->method.meta_epochs = 200;
+    opt->method.per_task_epochs = 200;
+    opt->method.inner_steps_train = 10;
+    opt->method.inner_steps_test = 20;
+    opt->cgnp.hidden_dim = 128;
+    opt->cgnp.num_layers = 3;
+    opt->cgnp.epochs = 200;
+  } else {
+    // CPU-sized defaults preserving the experimental shape.
+    opt->train_tasks = 12;
+    opt->valid_tasks = 3;
+    opt->test_tasks = 5;
+    opt->task.subgraph_size = 100;
+    opt->task.query_set_size = 8;
+    opt->method.hidden_dim = 32;
+    opt->method.num_layers = 2;
+    opt->method.meta_epochs = 10;
+    opt->method.per_task_epochs = 30;
+    opt->method.inner_steps_train = 5;
+    opt->method.inner_steps_test = 10;
+    opt->method.lr = 2e-3f;
+    opt->method.inner_lr = 2e-3f;
+    opt->method.outer_lr = 4e-3f;
+    opt->cgnp.hidden_dim = 32;
+    opt->cgnp.num_layers = 2;
+    opt->cgnp.epochs = 15;
+    opt->cgnp.lr = 2e-3f;
+  }
+}
+
+}  // namespace
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale=paper") {
+      opt.paper_scale = true;
+    } else if (arg == "--scale=small") {
+      opt.paper_scale = false;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      opt.csv_path = arg.substr(6);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      std::stringstream ss(arg.substr(11));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) opt.dataset_filter.push_back(item);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nusage: %s [--scale=small|paper] "
+                   "[--seed=N] [--datasets=a,b,...] [--csv=path]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  ApplyScale(&opt);
+  opt.method.seed = opt.seed;
+  opt.cgnp.seed = opt.seed;
+  return opt;
+}
+
+bool DatasetSelected(const BenchOptions& opt, const std::string& name) {
+  if (opt.dataset_filter.empty()) return true;
+  for (const auto& f : opt.dataset_filter) {
+    if (f == name) return true;
+  }
+  return false;
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+std::vector<NamedMethod> MakeMethodRoster(const BenchOptions& opt,
+                                          bool attributed) {
+  std::vector<NamedMethod> out;
+  out.push_back({"ATC", std::make_unique<AtcMethod>(), false});
+  if (attributed) {
+    out.push_back({"ACQ", std::make_unique<AcqMethod>(), false});
+  }
+  out.push_back({"CTC", std::make_unique<CtcMethod>(), false});
+  out.push_back({"MAML", std::make_unique<MamlCs>(opt.method), true});
+  out.push_back({"Reptile", std::make_unique<ReptileCs>(opt.method), true});
+  out.push_back({"FeatTrans", std::make_unique<FeatTransCs>(opt.method), true});
+  out.push_back({"GPN", std::make_unique<GpnCs>(opt.method), true});
+  out.push_back(
+      {"Supervised", std::make_unique<SupervisedCs>(opt.method), false});
+  {
+    MethodConfig ics = opt.method;
+    // Community size ~ expected planted-community share of a task graph.
+    ics.ics_community_size = std::max<int64_t>(10, opt.task.subgraph_size / 6);
+    out.push_back({"ICS-GNN", std::make_unique<IcsGnnCs>(ics), false});
+  }
+  out.push_back({"AQD-GNN", std::make_unique<AqdGnnCs>(opt.method), false});
+  for (DecoderKind d :
+       {DecoderKind::kInnerProduct, DecoderKind::kMlp, DecoderKind::kGnn}) {
+    CgnpConfig cfg = opt.cgnp;
+    cfg.decoder = d;
+    out.push_back(
+        {cfg.VariantName(), std::make_unique<CgnpMethod>(cfg), true});
+  }
+  return out;
+}
+
+void AppendCsv(const BenchOptions& opt, const std::string& context,
+               const std::vector<MethodResult>& results) {
+  if (opt.csv_path.empty()) return;
+  std::ifstream probe(opt.csv_path);
+  const bool need_header = !probe.good() || probe.peek() == EOF;
+  probe.close();
+  std::ofstream out(opt.csv_path, std::ios::app);
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: cannot append CSV to %s\n",
+                 opt.csv_path.c_str());
+    return;
+  }
+  if (need_header) {
+    out << "context,method,accuracy,precision,recall,f1,train_ms,test_ms\n";
+  }
+  for (const auto& r : results) {
+    out << context << ',' << r.name << ',' << r.stats.accuracy << ','
+        << r.stats.precision << ',' << r.stats.recall << ',' << r.stats.f1
+        << ',' << r.train_ms << ',' << r.test_ms << '\n';
+  }
+}
+
+std::vector<MethodResult> RunRoster(const BenchOptions& opt, bool attributed,
+                                    const TaskSplit& split,
+                                    const std::string& context) {
+  std::vector<MethodResult> results;
+  for (auto& nm : MakeMethodRoster(opt, attributed)) {
+    MethodResult r;
+    r.name = nm.name;
+    r.train_ms = TimeMs([&] { nm.method->MetaTrain(split.train); });
+    StatsAccumulator acc;
+    r.test_ms = TimeMs([&] {
+      for (const auto& task : split.test) {
+        const auto preds = nm.method->PredictTask(task);
+        for (size_t i = 0; i < task.query.size(); ++i) {
+          acc.Add(EvaluateScores(preds[i], task.query[i].truth,
+                                 task.query[i].query));
+        }
+      }
+    });
+    r.stats = acc.MeanStats();
+    results.push_back(std::move(r));
+    PrintResultRow(results.back());
+  }
+  AppendCsv(opt, context, results);
+  return results;
+}
+
+void PrintTableHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s %8s %8s %8s %8s %12s %12s\n", "Method", "Acc", "Pre",
+              "Rec", "F1", "train(ms)", "test(ms)");
+  std::fflush(stdout);
+}
+
+void PrintResultRow(const MethodResult& r) {
+  std::printf("%-14s %8.4f %8.4f %8.4f %8.4f %12.1f %12.1f\n", r.name.c_str(),
+              r.stats.accuracy, r.stats.precision, r.stats.recall, r.stats.f1,
+              r.train_ms, r.test_ms);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace cgnp

@@ -1,0 +1,88 @@
+// Shared benchmark harness: scale presets, method roster, timing, and
+// paper-style table printing. Every bench binary accepts:
+//   --scale=small|paper   (default small: CPU-sized; paper: Section VII-A
+//                          parameters -- expect hours on CPU)
+//   --seed=N              (default 1)
+//   --datasets=a,b,...    (optional filter by dataset name)
+#ifndef CGNP_BENCH_HARNESS_H_
+#define CGNP_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cgnp.h"
+#include "data/profiles.h"
+#include "data/tasks.h"
+#include "meta/method.h"
+
+namespace cgnp {
+namespace bench {
+
+struct BenchOptions {
+  bool paper_scale = false;
+  uint64_t seed = 1;
+  std::vector<std::string> dataset_filter;  // empty = all
+  // When non-empty, every result row is appended to this CSV file
+  // (columns: context, method, accuracy, precision, recall, f1, train_ms,
+  // test_ms) for plotting.
+  std::string csv_path;
+
+  // Task-set sizes.
+  int64_t train_tasks = 12;
+  int64_t valid_tasks = 3;
+  int64_t test_tasks = 5;
+  TaskConfig task;  // subgraph size, shots, query set, pos/neg samples
+
+  // Hyper-parameters shared across learned methods.
+  MethodConfig method;
+  CgnpConfig cgnp;
+};
+
+// Parses argv; exits with a usage message on unknown flags.
+BenchOptions ParseOptions(int argc, char** argv);
+
+// True when `name` passes the --datasets filter.
+bool DatasetSelected(const BenchOptions& opt, const std::string& name);
+
+// Milliseconds spent running fn.
+double TimeMs(const std::function<void()>& fn);
+
+// The full method roster of the paper's tables, in table order. ACQ is
+// included only when `attributed` (it cannot run otherwise; the paper notes
+// the same restriction for Arxiv / DBLP / Reddit).
+struct NamedMethod {
+  std::string name;
+  std::unique_ptr<CsMethod> method;
+  bool learned;  // participates in meta-training timing (Fig. 3b)
+};
+std::vector<NamedMethod> MakeMethodRoster(const BenchOptions& opt,
+                                          bool attributed);
+
+// Convenience: evaluates every roster method on a task split and prints
+// one table row per method. Returns (name, stats, train_ms, test_ms).
+struct MethodResult {
+  std::string name;
+  EvalStats stats;
+  double train_ms = 0;
+  double test_ms = 0;
+};
+std::vector<MethodResult> RunRoster(const BenchOptions& opt, bool attributed,
+                                    const TaskSplit& split,
+                                    const std::string& context = "");
+
+// Appends result rows to opt.csv_path (no-op when unset). Exposed for
+// benches that bypass RunRoster.
+void AppendCsv(const BenchOptions& opt, const std::string& context,
+               const std::vector<MethodResult>& results);
+
+// Prints the header / row of a paper-style metric table.
+void PrintTableHeader(const std::string& title);
+void PrintResultRow(const MethodResult& r);
+
+}  // namespace bench
+}  // namespace cgnp
+
+#endif  // CGNP_BENCH_HARNESS_H_

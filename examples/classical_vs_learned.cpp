@@ -1,0 +1,73 @@
+// Side-by-side comparison of every community-search approach in the library
+// on one attributed graph: the three classical algorithms (ATC, ACQ, CTC),
+// the plain structural baselines (k-core, k-truss), and the three CGNP
+// variants. A compact reproduction of the paper's headline comparison.
+#include <cstdio>
+
+#include "core/cgnp.h"
+#include "data/profiles.h"
+#include "data/tasks.h"
+#include "meta/classical.h"
+
+using namespace cgnp;
+
+int main() {
+  Rng rng(31);
+  const Graph g = MakeDataset(CiteseerProfile(), &rng)[0];
+  std::printf("Citeseer-like graph: %lld nodes, %lld edges, "
+              "%lld topic communities, attributed\n",
+              (long long)g.num_nodes(), (long long)g.num_edges(),
+              (long long)g.num_communities());
+
+  TaskConfig tc;
+  tc.subgraph_size = 100;
+  tc.shots = 3;
+  tc.query_set_size = 8;
+  Rng task_rng(32);
+  const TaskSplit split =
+      MakeSingleGraphTasks(g, TaskRegime::kSgsc, tc, 12, 2, 4, &task_rng);
+  std::printf("%zu training tasks, %zu test tasks, 3-shot\n\n",
+              split.train.size(), split.test.size());
+
+  std::printf("%-10s %8s %8s %8s %8s\n", "Method", "Acc", "Pre", "Rec", "F1");
+
+  auto run = [&](CsMethod* method) {
+    method->MetaTrain(split.train);
+    const EvalStats s = EvaluateMethod(method, split.test);
+    std::printf("%-10s %8.4f %8.4f %8.4f %8.4f\n", method->name().c_str(),
+                s.accuracy, s.precision, s.recall, s.f1);
+  };
+
+  AtcMethod atc;
+  AcqMethod acq;
+  CtcMethod ctc;
+  KCoreMethod kcore;
+  KTrussMethod ktruss;
+  KCliqueMethod kclique;
+  KEccMethod kecc;
+  run(&atc);
+  run(&acq);
+  run(&ctc);
+  run(&kcore);
+  run(&ktruss);
+  run(&kclique);
+  run(&kecc);
+
+  for (DecoderKind d :
+       {DecoderKind::kInnerProduct, DecoderKind::kMlp, DecoderKind::kGnn}) {
+    CgnpConfig cfg;
+    cfg.encoder = GnnKind::kGat;
+    cfg.decoder = d;
+    cfg.hidden_dim = 32;
+    cfg.num_layers = 2;
+    cfg.epochs = 15;
+    cfg.lr = 2e-3f;
+    CgnpMethod cgnp(cfg);
+    run(&cgnp);
+  }
+
+  std::printf("\nExpected shape (paper Tables II-III): classical algorithms "
+              "post high precision but very low recall; the CGNP variants "
+              "dominate on F1.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Collaboration-network scenario (the paper's Figure 1 motivation): find
+// the community of a researcher in a DBLP-style co-authorship graph, where
+// classical k-related patterns fail because real communities contain
+// low-degree members.
+//
+// The example builds a DBLP-like graph (many small venue communities,
+// power-law degrees), meta-trains CGNP, then compares its answer for a
+// "Jure"-style hub query against k-core and k-truss communities -- showing
+// the structural-pattern failure mode: the k-core floods across the graph
+// while the truss community misses the low-degree collaborators.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/cgnp.h"
+#include "cs/kcore_community.h"
+#include "cs/ktruss_community.h"
+#include "data/profiles.h"
+#include "data/tasks.h"
+
+using namespace cgnp;
+
+namespace {
+
+EvalStats ScoreSet(const CsTask& task, const QueryExample& ex,
+                   const std::vector<NodeId>& members) {
+  return EvaluateSet(members, ex.truth, ex.query);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  DatasetProfile profile = DblpProfile();
+  profile.graph_configs[0].num_nodes = 3000;  // quick-running demo size
+  profile.graph_configs[0].num_communities = 80;
+  const Graph g = MakeDataset(profile, &rng)[0];
+  std::printf("DBLP-like graph: %lld authors, %lld collaborations, "
+              "%lld venue communities\n",
+              (long long)g.num_nodes(), (long long)g.num_edges(),
+              (long long)g.num_communities());
+
+  // Tasks: 2-shot with 8 evaluation queries each.
+  TaskConfig tc;
+  tc.subgraph_size = 120;
+  tc.shots = 2;
+  tc.query_set_size = 8;
+  Rng task_rng(12);
+  const TaskSplit split =
+      MakeSingleGraphTasks(g, TaskRegime::kSgsc, tc, 14, 2, 4, &task_rng);
+  std::printf("sampled %zu training tasks / %zu test tasks\n",
+              split.train.size(), split.test.size());
+
+  CgnpConfig cfg;
+  cfg.encoder = GnnKind::kGat;
+  cfg.hidden_dim = 32;
+  cfg.num_layers = 2;
+  cfg.epochs = 15;
+  cfg.lr = 2e-3f;
+  CgnpMethod cgnp(cfg);
+  std::printf("meta-training %s...\n", cgnp.name().c_str());
+  cgnp.MetaTrain(split.train);
+
+  // Head-to-head on the first test task: pick its highest-degree query (the
+  // "Jure Leskovec" of the subgraph).
+  const CsTask& task = split.test.front();
+  size_t hub_idx = 0;
+  for (size_t i = 1; i < task.query.size(); ++i) {
+    if (task.graph.Degree(task.query[i].query) >
+        task.graph.Degree(task.query[hub_idx].query)) {
+      hub_idx = i;
+    }
+  }
+  const QueryExample& hub = task.query[hub_idx];
+  std::printf("\nquery: author %lld (degree %lld), true community size %lld\n",
+              (long long)hub.query, (long long)task.graph.Degree(hub.query),
+              (long long)std::count(hub.truth.begin(), hub.truth.end(), 1));
+
+  const auto preds = cgnp.PredictTask(task);
+  std::vector<NodeId> cgnp_members;
+  for (size_t v = 0; v < preds[hub_idx].size(); ++v) {
+    if (preds[hub_idx][v] >= 0.5f) cgnp_members.push_back((NodeId)v);
+  }
+  const auto kcore = KCoreCommunity(task.graph, hub.query);
+  const auto ktruss = KTrussCommunity(task.graph, hub.query);
+
+  auto report = [&](const char* name, const std::vector<NodeId>& members) {
+    const EvalStats s = ScoreSet(task, hub, members);
+    std::printf("%-8s size %4zu  Pre %.3f  Rec %.3f  F1 %.3f\n", name,
+                members.size(), s.precision, s.recall, s.f1);
+  };
+  report("CGNP", cgnp_members);
+  report("k-core", kcore);
+  report("k-truss", ktruss);
+
+  std::printf("\n(The k-core community floods across venue borders -- the "
+              "paper's 1-core-returns-the-whole-graph pathology -- while the "
+              "learned model recovers the venue.)\n");
+  return 0;
+}

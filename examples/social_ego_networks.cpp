@@ -1,0 +1,65 @@
+// Cross-graph transfer scenario (the paper's MGOD setting): meta-train on
+// several Facebook-style ego networks and answer friendship-circle queries
+// on ego networks never seen during training -- the "small training data"
+// situation CGNP is designed for. Each ego network contributes one task;
+// the meta model transfers the shared prior ("circles are dense and
+// attribute-homogeneous") across graphs.
+#include <cstdio>
+
+#include "core/cgnp.h"
+#include "data/profiles.h"
+#include "data/tasks.h"
+
+using namespace cgnp;
+
+int main() {
+  Rng rng(21);
+  const auto graphs = MakeDataset(FacebookProfile(), &rng);
+  std::printf("Facebook-style dataset: %zu ego networks\n", graphs.size());
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    std::printf("  ego %zu: %lld nodes, %lld edges, %lld circles\n", i,
+                (long long)graphs[i].num_nodes(),
+                (long long)graphs[i].num_edges(),
+                (long long)graphs[i].num_communities());
+  }
+
+  TaskConfig tc;
+  tc.subgraph_size = 150;
+  tc.shots = 3;
+  tc.query_set_size = 8;
+  Rng task_rng(22);
+  const TaskSplit split = MakeMultiGraphTasks(graphs, tc, &task_rng);
+  std::printf("tasks: %zu train egos / %zu validation / %zu held-out test\n",
+              split.train.size(), split.valid.size(), split.test.size());
+
+  CgnpConfig cfg;
+  cfg.encoder = GnnKind::kGat;
+  cfg.commutative = CommutativeOp::kAttention;  // attention pools the shots
+  cfg.hidden_dim = 32;
+  cfg.num_layers = 2;
+  cfg.epochs = 25;
+  cfg.lr = 2e-3f;
+  CgnpMethod cgnp(cfg);
+  std::printf("\nmeta-training %s on the training ego networks...\n",
+              cgnp.name().c_str());
+  cgnp.MetaTrain(split.train);
+
+  // Evaluate transfer to the unseen ego networks.
+  const EvalStats transfer = EvaluateMethod(&cgnp, split.test);
+  std::printf("\ntransfer to unseen ego networks:\n%s\n",
+              FormatStatsRow(cgnp.name(), transfer).c_str());
+
+  // Show one concrete circle prediction.
+  const CsTask& task = split.test.front();
+  const auto preds = cgnp.PredictTask(task);
+  const QueryExample& ex = task.query.front();
+  int64_t predicted = 0, truth = 0;
+  for (size_t v = 0; v < preds[0].size(); ++v) {
+    predicted += preds[0][v] >= 0.5f;
+    truth += ex.truth[v];
+  }
+  std::printf("\nexample query %lld on a held-out ego network: predicted "
+              "circle of %lld members (ground truth %lld)\n",
+              (long long)ex.query, (long long)predicted, (long long)truth);
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgnp {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[cgnp fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cgnp

@@ -1,0 +1,73 @@
+// Lightweight CHECK macros: fatal invariant checks that abort with a
+// formatted message. The library does not use exceptions; violated
+// preconditions are programming errors and terminate the process, in the
+// style of RocksDB's assert-hard philosophy for internal invariants.
+#ifndef CGNP_COMMON_CHECK_H_
+#define CGNP_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace cgnp {
+namespace internal {
+
+// Aborts the process after printing `msg` (with file/line context) to stderr.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+}  // namespace internal
+}  // namespace cgnp
+
+// CGNP_CHECK(cond) << "extra context";  -- aborts when cond is false.
+#define CGNP_CHECK(cond)                                                    \
+  if (!(cond))                                                              \
+  ::cgnp::internal::CheckStream(__FILE__, __LINE__, "CHECK failed: " #cond)
+
+// Binary comparison helpers that print both operands on failure.
+#define CGNP_CHECK_OP(op, a, b)                                             \
+  if (!((a)op(b)))                                                          \
+  ::cgnp::internal::CheckStream(__FILE__, __LINE__,                         \
+                                ::cgnp::internal::FormatBinary(             \
+                                    #a " " #op " " #b, (a), (b)))
+#define CGNP_CHECK_EQ(a, b) CGNP_CHECK_OP(==, a, b)
+#define CGNP_CHECK_NE(a, b) CGNP_CHECK_OP(!=, a, b)
+#define CGNP_CHECK_LT(a, b) CGNP_CHECK_OP(<, a, b)
+#define CGNP_CHECK_LE(a, b) CGNP_CHECK_OP(<=, a, b)
+#define CGNP_CHECK_GT(a, b) CGNP_CHECK_OP(>, a, b)
+#define CGNP_CHECK_GE(a, b) CGNP_CHECK_OP(>=, a, b)
+
+namespace cgnp {
+namespace internal {
+
+// Stream-style collector that aborts in its destructor.
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, std::string head)
+      : file_(file), line_(line) {
+    stream_ << head;
+  }
+  [[noreturn]] ~CheckStream() {
+    CheckFailed(file_, line_, stream_.str());
+  }
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+template <typename A, typename B>
+std::string FormatBinary(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " (" << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace cgnp
+
+#endif  // CGNP_COMMON_CHECK_H_

@@ -1,0 +1,48 @@
+// Configuration of the CGNP model family (Section VI): encoder GNN type,
+// commutative aggregation, decoder complexity, and training hyper-params.
+#ifndef CGNP_CORE_CGNP_CONFIG_H_
+#define CGNP_CORE_CGNP_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/gnn_stack.h"
+
+namespace cgnp {
+
+// The commutative operation "big-plus" combining query-specific views into
+// the task context (Eq. 14-16). kCrossAttention is the ANP-style extension
+// (Kim et al. 2019, the paper's [54]): each node computes its own attention
+// weights over the views instead of sharing one weight per view -- the
+// natural next step the paper's Section VI discussion points at.
+enum class CommutativeOp { kSum, kAverage, kAttention, kCrossAttention };
+
+const char* CommutativeOpName(CommutativeOp op);
+
+// Decoder rho (Section VI): parameter-free inner product, MLP + inner
+// product, or GNN + inner product.
+enum class DecoderKind { kInnerProduct, kMlp, kGnn };
+
+const char* DecoderKindName(DecoderKind kind);
+
+struct CgnpConfig {
+  GnnKind encoder = GnnKind::kGat;          // Table IV: GAT is the default
+  CommutativeOp commutative = CommutativeOp::kAverage;
+  DecoderKind decoder = DecoderKind::kInnerProduct;
+
+  int64_t hidden_dim = 64;   // paper: 128 on GPU; scaled for CPU
+  int64_t num_layers = 3;    // encoder depth (paper: 3)
+  int64_t decoder_layers = 2;  // MLP / GNN decoder depth (paper: 2)
+  float dropout = 0.2f;
+
+  float lr = 5e-4f;          // Adam (paper: 5e-4)
+  int64_t epochs = 30;       // meta-training epochs (paper: 200 on GPU)
+  uint64_t seed = 1;
+
+  // "CGNP-IP" / "CGNP-MLP" / "CGNP-GNN", as in the paper's tables.
+  std::string VariantName() const;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_CGNP_CONFIG_H_

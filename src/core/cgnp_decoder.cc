@@ -1,0 +1,55 @@
+#include "core/cgnp_decoder.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+CgnpDecoder::CgnpDecoder(const CgnpConfig& cfg, Rng* rng) : kind_(cfg.decoder) {
+  switch (kind_) {
+    case DecoderKind::kInnerProduct:
+      break;
+    case DecoderKind::kMlp: {
+      // Paper: two-layer MLP with a wider hidden (512 at 128 model width);
+      // keep the same 4x ratio at the configured width.
+      std::vector<int64_t> dims;
+      dims.push_back(cfg.hidden_dim);
+      for (int64_t i = 0; i + 1 < cfg.decoder_layers; ++i) {
+        dims.push_back(cfg.hidden_dim * 4);
+      }
+      dims.push_back(cfg.hidden_dim);
+      mlp_ = std::make_unique<Mlp>(dims, rng);
+      RegisterChild(mlp_.get());
+      break;
+    }
+    case DecoderKind::kGnn: {
+      std::vector<int64_t> dims(cfg.decoder_layers + 1, cfg.hidden_dim);
+      gnn_ = std::make_unique<GnnStack>(cfg.encoder, dims, rng, cfg.dropout);
+      RegisterChild(gnn_.get());
+      break;
+    }
+  }
+}
+
+Tensor CgnpDecoder::Forward(const Graph& g, const Tensor& context, NodeId q,
+                            Rng* rng) const {
+  CGNP_CHECK_GE(q, 0);
+  CGNP_CHECK_LT(q, context.rows());
+  Tensor h = context;
+  switch (kind_) {
+    case DecoderKind::kInnerProduct:
+      break;
+    case DecoderKind::kMlp:
+      h = mlp_->Forward(h);
+      break;
+    case DecoderKind::kGnn:
+      h = gnn_->Forward(g, h, rng);
+      break;
+  }
+  // Eq. 17: logits = <H[q], H> for every node.
+  Tensor query_row = IndexSelectRows(h, {q});          // {1, d}
+  return MatMul(h, query_row, /*transpose_a=*/false,
+                /*transpose_b=*/true);                 // {n, 1}
+}
+
+}  // namespace cgnp

@@ -1,0 +1,38 @@
+// CGNP decoder rho (Section VI): predicts membership logits for a new query
+// q* from the combined context H. All three variants end in the inner
+// product of Eq. 17 -- <H'[q*], H'> -- optionally preceded by an MLP or GNN
+// transformation of the context:
+//   inner-product   H' = H                        (parameter-free)
+//   MLP             H' = MLP(H)                   (node-independent)
+//   GNN             H' = GNN(H)                   (adds message passing)
+#ifndef CGNP_CORE_CGNP_DECODER_H_
+#define CGNP_CORE_CGNP_DECODER_H_
+
+#include <memory>
+
+#include "core/cgnp_config.h"
+#include "data/tasks.h"
+#include "nn/gnn_stack.h"
+#include "nn/mlp.h"
+
+namespace cgnp {
+
+class CgnpDecoder : public Module {
+ public:
+  CgnpDecoder(const CgnpConfig& cfg, Rng* rng);
+
+  // Logits {n, 1} for query q given the task context H ({n, d}).
+  Tensor Forward(const Graph& g, const Tensor& context, NodeId q,
+                 Rng* rng) const;
+
+  DecoderKind kind() const { return kind_; }
+
+ private:
+  DecoderKind kind_;
+  std::unique_ptr<Mlp> mlp_;        // kMlp only
+  std::unique_ptr<GnnStack> gnn_;   // kGnn only
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_CGNP_DECODER_H_

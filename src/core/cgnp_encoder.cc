@@ -1,0 +1,32 @@
+#include "core/cgnp_encoder.h"
+
+#include "common/check.h"
+#include "meta/query_gnn.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+namespace {
+
+std::vector<int64_t> EncoderDims(const CgnpConfig& cfg, int64_t feature_dim) {
+  std::vector<int64_t> dims;
+  dims.push_back(feature_dim + 1);  // +1 for the label-indicator column
+  for (int64_t i = 0; i < cfg.num_layers; ++i) dims.push_back(cfg.hidden_dim);
+  return dims;
+}
+
+}  // namespace
+
+CgnpEncoder::CgnpEncoder(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng)
+    : stack_(cfg.encoder, EncoderDims(cfg, feature_dim), rng, cfg.dropout) {
+  RegisterChild(&stack_);
+}
+
+Tensor CgnpEncoder::Forward(const Graph& g, const QueryExample& example,
+                            Rng* rng) const {
+  CGNP_CHECK_EQ(g.feature_dim() + 1, stack_.in_dim());
+  Tensor x = ConcatCols(LabelIndicatorColumn(g, example), g.FeatureTensor());
+  return stack_.Forward(g, x, rng);
+}
+
+}  // namespace cgnp

@@ -1,0 +1,29 @@
+// CGNP encoder phi (Section VI, "GNN Encoder"): a K-layer GNN that maps one
+// observation (q, l_q) together with the task graph to a query-specific
+// view H_q in R^{n x d}. The input of node v is [Il(v) || A(v)] (Eq. 13)
+// where Il marks the query node and its known positive samples.
+#ifndef CGNP_CORE_CGNP_ENCODER_H_
+#define CGNP_CORE_CGNP_ENCODER_H_
+
+#include "core/cgnp_config.h"
+#include "data/tasks.h"
+#include "nn/gnn_stack.h"
+
+namespace cgnp {
+
+class CgnpEncoder : public Module {
+ public:
+  CgnpEncoder(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng);
+
+  // View H_q for one support observation.
+  Tensor Forward(const Graph& g, const QueryExample& example, Rng* rng) const;
+
+  int64_t out_dim() const { return stack_.out_dim(); }
+
+ private:
+  GnnStack stack_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_CGNP_ENCODER_H_

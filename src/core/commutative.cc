@@ -1,0 +1,80 @@
+#include "core/commutative.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+Commutative::Commutative(CommutativeOp op, int64_t dim, Rng* rng)
+    : op_(op), dim_(dim) {
+  if (op_ == CommutativeOp::kAttention ||
+      op_ == CommutativeOp::kCrossAttention) {
+    w1_ = RegisterParameter(GlorotWeight(dim, dim, rng));
+    w2_ = RegisterParameter(GlorotWeight(dim, dim, rng));
+  }
+}
+
+Tensor Commutative::Combine(const std::vector<Tensor>& views) const {
+  CGNP_CHECK(!views.empty());
+  const int64_t q = static_cast<int64_t>(views.size());
+  if (op_ == CommutativeOp::kSum || op_ == CommutativeOp::kAverage || q == 1) {
+    Tensor acc = views[0];
+    for (int64_t i = 1; i < q; ++i) acc = Add(acc, views[i]);
+    if (op_ == CommutativeOp::kAverage && q > 1) {
+      acc = MulScalar(acc, 1.0f / static_cast<float>(q));
+    }
+    return acc;
+  }
+  if (op_ == CommutativeOp::kCrossAttention) {
+    // ANP-style: every node attends over the views. Keys come from the
+    // mean view, queries from each view; tanh bounds the scores so the
+    // manual softmax below cannot overflow.
+    Tensor mean_view = views[0];
+    for (int64_t i = 1; i < q; ++i) mean_view = Add(mean_view, views[i]);
+    mean_view = MulScalar(mean_view, 1.0f / static_cast<float>(q));
+    Tensor key = MatMul(mean_view, w2_);  // {n, d}
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    std::vector<Tensor> exp_scores;  // each {n, 1}
+    Tensor denom;
+    for (int64_t i = 0; i < q; ++i) {
+      Tensor score = SumDim(Mul(MatMul(views[i], w1_), key), 1);  // {n,1}
+      Tensor bounded = MulScalar(Tanh(MulScalar(score, scale)), 2.0f);
+      Tensor e = Exp(bounded);
+      exp_scores.push_back(e);
+      denom = denom.Defined() ? Add(denom, e) : e;
+    }
+    Tensor acc;
+    for (int64_t i = 0; i < q; ++i) {
+      Tensor weight = Div(exp_scores[i], denom);       // {n, 1}
+      Tensor scaled = Mul(views[i], weight);           // column broadcast
+      acc = acc.Defined() ? Add(acc, scaled) : scaled;
+    }
+    return acc;
+  }
+  // Attention: per-view weights from scaled dot-product self-attention over
+  // mean-pooled view embeddings, shared across all nodes (Eq. 15-16).
+  Tensor m;  // {q, d}: one mean row per view
+  for (int64_t i = 0; i < q; ++i) {
+    Tensor row = MeanDim(views[i], 0);  // {1, d}
+    m = m.Defined() ? ConcatRows(m, row) : row;
+  }
+  Tensor h1 = MatMul(m, w1_);
+  Tensor h2 = MatMul(m, w2_);
+  Tensor scores = MulScalar(MatMul(h1, h2, /*transpose_a=*/false,
+                                   /*transpose_b=*/true),
+                            1.0f / std::sqrt(static_cast<float>(dim_)));
+  // Collapse the {q, q} score matrix to one weight per view and normalise.
+  Tensor weights = Softmax(MeanDim(scores, 0));  // {1, q}
+  Tensor weights_col = Reshape(weights, {q, 1});
+  Tensor acc;
+  for (int64_t i = 0; i < q; ++i) {
+    Tensor wi = IndexSelectRows(weights_col, {i});  // {1, 1} scalar
+    Tensor scaled = Mul(views[i], wi);
+    acc = acc.Defined() ? Add(acc, scaled) : scaled;
+  }
+  return acc;
+}
+
+}  // namespace cgnp

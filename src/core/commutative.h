@@ -1,0 +1,46 @@
+// The commutative operation "big-plus" of CGNP (Section VI): combines the
+// query-specific views {H_q} into one task context H, permutation-
+// invariantly. Three options matching the paper's ablation (Table IV),
+// plus one extension:
+//   sum             H = sum_q H_q                              (Eq. 14)
+//   average         H = (1/|Q|) sum_q H_q
+//   attention       H = sum_q w_q H_q with learned weights     (Eq. 15-16)
+//   cross-attention H[v] = sum_q w_q(v) H_q[v]                 (ANP-style)
+//
+// The attention weights follow Eq. 15-16: the per-view embeddings are
+// linearly transformed by W1 / W2 and scored by scaled dot product; the
+// paper shares one weight per view across all nodes, so the view embedding
+// entering the score is the mean node embedding of that view.
+// Cross-attention instead gives every node its own softmax over the views
+// (keys = the mean view, queries = each view, both linearly transformed),
+// following the Attentive Neural Process the paper cites as [54]. Scores
+// are tanh-bounded before the softmax for numerical stability.
+#ifndef CGNP_CORE_COMMUTATIVE_H_
+#define CGNP_CORE_COMMUTATIVE_H_
+
+#include <vector>
+
+#include "core/cgnp_config.h"
+#include "nn/module.h"
+
+namespace cgnp {
+
+class Commutative : public Module {
+ public:
+  Commutative(CommutativeOp op, int64_t dim, Rng* rng);
+
+  // views: non-empty list of {n, d} tensors -> combined {n, d} context.
+  Tensor Combine(const std::vector<Tensor>& views) const;
+
+  CommutativeOp op() const { return op_; }
+
+ private:
+  CommutativeOp op_;
+  int64_t dim_;
+  Tensor w1_;  // {d, d}, attention only
+  Tensor w2_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_COMMUTATIVE_H_

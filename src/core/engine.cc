@@ -1,0 +1,110 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/sampling.h"
+
+namespace cgnp {
+
+namespace {
+
+int64_t AttributeDimOf(const Graph& g) {
+  if (!g.has_attributes()) return 0;
+  int32_t mx = -1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int32_t a : g.Attributes(v)) mx = std::max(mx, a);
+  }
+  return mx + 1;
+}
+
+}  // namespace
+
+CommunitySearchEngine::CommunitySearchEngine(Options options)
+    : options_(std::move(options)) {}
+
+void CommunitySearchEngine::Fit(const Graph& g) {
+  CGNP_CHECK(g.has_communities())
+      << " Fit needs ground-truth communities on the graph";
+  Rng rng(options_.seed);
+  attribute_dim_ = AttributeDimOf(g);
+  std::vector<CsTask> train;
+  for (int64_t i = 0; i < options_.num_train_tasks; ++i) {
+    CsTask t;
+    if (SampleTask(g, options_.tasks, {}, attribute_dim_, &rng, &t)) {
+      train.push_back(std::move(t));
+    }
+  }
+  CGNP_CHECK(!train.empty()) << " could not sample any training task";
+  std::vector<CsTask> valid;
+  for (int64_t i = 0; i < options_.num_valid_tasks; ++i) {
+    CsTask t;
+    if (SampleTask(g, options_.tasks, {}, attribute_dim_, &rng, &t)) {
+      valid.push_back(std::move(t));
+    }
+  }
+  feature_dim_ = train.front().graph.feature_dim();
+  Rng model_rng(options_.model.seed);
+  model_ = std::make_unique<CgnpModel>(options_.model, feature_dim_, &model_rng);
+  if (!valid.empty()) {
+    CgnpMetaTrainWithValidation(model_.get(), train, valid,
+                                options_.model.epochs, options_.model.lr,
+                                options_.model.seed,
+                                options_.early_stop_patience);
+  } else {
+    CgnpMetaTrain(model_.get(), train, options_.model.epochs,
+                  options_.model.lr, options_.model.seed);
+  }
+}
+
+std::vector<NodeId> CommunitySearchEngine::Search(
+    const Graph& g, NodeId query, const std::vector<QueryExample>& labelled,
+    float threshold) {
+  CGNP_CHECK(trained()) << " call Fit before Search";
+  // Build a task neighborhood around the query.
+  Rng rng(options_.seed ^ static_cast<uint64_t>(query + 1));
+  std::vector<NodeId> nodes =
+      BfsSample(g, query, options_.tasks.subgraph_size, &rng);
+  // The query (BFS seed) is nodes[0]; map ids.
+  std::vector<NodeId> new_of_old;
+  Graph sub = InducedSubgraph(g, nodes, &new_of_old);
+  Graph task_graph = AttachTaskFeatures(sub, attribute_dim_);
+  CGNP_CHECK_EQ(task_graph.feature_dim(), feature_dim_)
+      << " query graph features incompatible with the fitted model";
+
+  // Remap user-provided support observations into the task subgraph.
+  std::vector<QueryExample> support;
+  for (const auto& ex : labelled) {
+    if (new_of_old[ex.query] < 0) continue;
+    QueryExample local;
+    local.query = new_of_old[ex.query];
+    for (NodeId v : ex.pos) {
+      if (new_of_old[v] >= 0) local.pos.push_back(new_of_old[v]);
+    }
+    for (NodeId v : ex.neg) {
+      if (new_of_old[v] >= 0) local.neg.push_back(new_of_old[v]);
+    }
+    support.push_back(std::move(local));
+  }
+  if (support.empty()) {
+    // Zero-shot: condition on the query alone.
+    QueryExample self;
+    self.query = new_of_old[query];
+    support.push_back(std::move(self));
+  }
+
+  NoGradGuard no_grad;
+  Tensor context = model_->TaskContext(task_graph, support, nullptr);
+  Tensor logits =
+      model_->QueryLogits(task_graph, context, new_of_old[query], nullptr);
+  const std::vector<float> probs = SigmoidValues(logits);
+  std::vector<NodeId> members;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] >= threshold || nodes[i] == query) {
+      members.push_back(nodes[i]);
+    }
+  }
+  return members;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,56 @@
+// High-level facade: train a CGNP meta model on a labelled data graph and
+// answer community-search queries on it. This is the quickstart-level API
+// the examples use; benchmark code drives the lower-level pieces directly.
+#ifndef CGNP_CORE_ENGINE_H_
+#define CGNP_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cgnp.h"
+#include "data/tasks.h"
+
+namespace cgnp {
+
+class CommunitySearchEngine {
+ public:
+  struct Options {
+    CgnpConfig model;
+    TaskConfig tasks;
+    int64_t num_train_tasks = 40;
+    // When > 0, this many extra tasks are sampled for validation and
+    // meta-training uses early stopping with best-snapshot selection
+    // (CgnpMetaTrainWithValidation).
+    int64_t num_valid_tasks = 0;
+    int64_t early_stop_patience = 10;
+    uint64_t seed = 7;
+  };
+
+  explicit CommunitySearchEngine(Options options);
+
+  // Samples training tasks from the labelled graph and meta-trains the
+  // model. `g` must carry ground-truth communities.
+  void Fit(const Graph& g);
+
+  // Answers a community-search query on (a BFS neighborhood of) `g`.
+  // `labelled` optionally supplies user-provided support observations in
+  // g's node ids; when empty, a single self-observation (the query node
+  // with no further positives) conditions the context -- the zero-shot
+  // setting. Returns the predicted member nodes in g's ids.
+  std::vector<NodeId> Search(const Graph& g, NodeId query,
+                             const std::vector<QueryExample>& labelled = {},
+                             float threshold = 0.5f);
+
+  bool trained() const { return model_ != nullptr; }
+  const CgnpModel* model() const { return model_.get(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<CgnpModel> model_;
+  int64_t feature_dim_ = 0;
+  int64_t attribute_dim_ = 0;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_ENGINE_H_

@@ -1,0 +1,35 @@
+// Attributed Community Query (Fang, Cheng, Luo, Hu; VLDB 2016).
+//
+// ACQ finds a connected k-core containing the query node whose members all
+// share a maximum-cardinality set of the query node's attributes. This
+// implementation follows the basic decomposition algorithm: it tests
+// single attributes of q for feasibility, then grows feasible attribute
+// sets by pairwise combination up to `max_attr_set` attributes (the paper
+// notes full enumeration is exponential; it already times out on two of the
+// evaluation datasets, so a bounded search preserves the reported
+// behaviour). Ties between equally large attribute sets are broken toward
+// the larger community.
+#ifndef CGNP_CS_ACQ_H_
+#define CGNP_CS_ACQ_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+struct AcqConfig {
+  // Core parameter of the structural constraint.
+  int64_t k = 2;
+  // Maximum attribute-set cardinality explored.
+  int64_t max_attr_set = 2;
+};
+
+// Returns the community members; empty when g has no attributes or no
+// feasible attributed community exists (callers may fall back to k-core).
+std::vector<NodeId> AttributedCommunityQuery(const Graph& g, NodeId q,
+                                             const AcqConfig& config = {});
+
+}  // namespace cgnp
+
+#endif  // CGNP_CS_ACQ_H_

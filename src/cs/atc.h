@@ -1,0 +1,39 @@
+// Attribute-driven Truss Community search (Huang & Lakshmanan; VLDB 2017).
+//
+// ATC finds a (k, d)-truss containing the query node — a connected k-truss
+// whose nodes lie within d hops of the query — maximising the attribute
+// score  f(H, Wq) = sum_{w in Wq} |V_w(H)|^2 / |V(H)|, where V_w(H) is the
+// set of nodes of H carrying attribute w and Wq defaults to the query
+// node's attributes. Following the published LocATC heuristic, the
+// candidate (k, d)-truss is shrunk greedily: nodes whose removal increases
+// (or least decreases) the attribute score are peeled while the truss and
+// connectivity constraints still hold, and the best-scoring intermediate is
+// returned.
+#ifndef CGNP_CS_ATC_H_
+#define CGNP_CS_ATC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+struct AtcConfig {
+  // Truss parameter; -1 = largest k feasible for the query.
+  int64_t k = -1;
+  // Hop bound around the query node.
+  int64_t d = 3;
+  // Upper bound on greedy peel iterations.
+  int64_t max_peel_iters = 48;
+};
+
+// Attribute score of a node set (exposed for tests).
+double AtcAttributeScore(const Graph& g, const std::vector<NodeId>& members,
+                         const std::vector<int32_t>& query_attrs);
+
+std::vector<NodeId> AttributedTrussCommunity(const Graph& g, NodeId q,
+                                             const AtcConfig& config = {});
+
+}  // namespace cgnp
+
+#endif  // CGNP_CS_ATC_H_

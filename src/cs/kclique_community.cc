@@ -1,0 +1,127 @@
+#include "cs/kclique_community.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+namespace {
+
+// Recursively extends `current` (sorted, ascending) with common neighbors
+// greater than its last element.
+void Extend(const Graph& g, std::vector<NodeId>* current,
+            const std::vector<NodeId>& candidates, int64_t k,
+            int64_t max_cliques, std::vector<std::vector<NodeId>>* out) {
+  if (static_cast<int64_t>(out->size()) >= max_cliques) return;
+  if (static_cast<int64_t>(current->size()) == k) {
+    out->push_back(*current);
+    return;
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId v = candidates[i];
+    // New candidate set: later candidates adjacent to v.
+    std::vector<NodeId> next;
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (g.HasEdge(v, candidates[j])) next.push_back(candidates[j]);
+    }
+    if (static_cast<int64_t>(current->size()) + 1 +
+            static_cast<int64_t>(next.size()) <
+        k) {
+      continue;  // cannot reach size k
+    }
+    current->push_back(v);
+    Extend(g, current, next, k, max_cliques, out);
+    current->pop_back();
+    if (static_cast<int64_t>(out->size()) >= max_cliques) return;
+  }
+}
+
+// Disjoint-set union over clique ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int64_t a, int64_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int64_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> EnumerateKCliques(const Graph& g, int64_t k,
+                                                   int64_t max_cliques) {
+  CGNP_CHECK_GE(k, 2);
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> current;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> candidates;
+    for (NodeId u : g.Neighbors(v)) {
+      if (u > v) candidates.push_back(u);
+    }
+    current = {v};
+    Extend(g, &current, candidates, k, max_cliques, &out);
+    if (static_cast<int64_t>(out.size()) >= max_cliques) break;
+  }
+  return out;
+}
+
+std::vector<NodeId> KCliqueCommunity(const Graph& g, NodeId q,
+                                     const KCliqueConfig& config) {
+  CGNP_CHECK_GE(q, 0);
+  CGNP_CHECK_LT(q, g.num_nodes());
+  const auto cliques = EnumerateKCliques(g, config.k, config.max_cliques);
+  if (cliques.empty()) return {};
+
+  // Percolation: cliques sharing any (k-1)-subset are adjacent. Group by
+  // subset key.
+  UnionFind uf(static_cast<int64_t>(cliques.size()));
+  std::map<std::vector<NodeId>, int64_t> subset_owner;
+  std::vector<NodeId> subset(config.k - 1);
+  for (size_t c = 0; c < cliques.size(); ++c) {
+    for (int64_t skip = 0; skip < config.k; ++skip) {
+      subset.clear();
+      for (int64_t i = 0; i < config.k; ++i) {
+        if (i != skip) subset.push_back(cliques[c][i]);
+      }
+      auto [it, inserted] =
+          subset_owner.emplace(subset, static_cast<int64_t>(c));
+      if (!inserted) uf.Union(static_cast<int64_t>(c), it->second);
+    }
+  }
+
+  // Components containing q.
+  std::vector<char> member(g.num_nodes(), 0);
+  std::vector<int64_t> q_roots;
+  for (size_t c = 0; c < cliques.size(); ++c) {
+    if (std::binary_search(cliques[c].begin(), cliques[c].end(), q)) {
+      q_roots.push_back(uf.Find(static_cast<int64_t>(c)));
+    }
+  }
+  if (q_roots.empty()) return {};
+  std::sort(q_roots.begin(), q_roots.end());
+  q_roots.erase(std::unique(q_roots.begin(), q_roots.end()), q_roots.end());
+  for (size_t c = 0; c < cliques.size(); ++c) {
+    const int64_t root = uf.Find(static_cast<int64_t>(c));
+    if (!std::binary_search(q_roots.begin(), q_roots.end(), root)) continue;
+    for (NodeId v : cliques[c]) member[v] = 1;
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (member[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,35 @@
+// k-clique percolation community search (Cui et al., SIGMOD 2013 flavour;
+// the "k-clique" community model of the paper's related work [8,9]).
+//
+// Two k-cliques are adjacent when they share k-1 nodes; a k-clique
+// community is the union of all k-cliques reachable from a clique
+// containing the query node. Clique enumeration is exponential in general,
+// so the search is budgeted (`max_cliques`) -- ample for task-sized graphs.
+#ifndef CGNP_CS_KCLIQUE_COMMUNITY_H_
+#define CGNP_CS_KCLIQUE_COMMUNITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+struct KCliqueConfig {
+  int64_t k = 3;
+  // Enumeration budget; the search aborts cleanly (returning the community
+  // found so far) once exceeded.
+  int64_t max_cliques = 200000;
+};
+
+// All k-cliques of g that contain at least one node (helper, exposed for
+// tests). Each clique is a sorted node list.
+std::vector<std::vector<NodeId>> EnumerateKCliques(const Graph& g, int64_t k,
+                                                   int64_t max_cliques);
+
+// The k-clique percolation community of q; empty when q is in no k-clique.
+std::vector<NodeId> KCliqueCommunity(const Graph& g, NodeId q,
+                                     const KCliqueConfig& config = {});
+
+}  // namespace cgnp
+
+#endif  // CGNP_CS_KCLIQUE_COMMUNITY_H_

@@ -1,0 +1,16 @@
+#include "cs/kcore_community.h"
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace cgnp {
+
+std::vector<NodeId> KCoreCommunity(const Graph& g, NodeId q, int64_t k) {
+  CGNP_CHECK_GE(q, 0);
+  CGNP_CHECK_LT(q, g.num_nodes());
+  if (k < 0) k = MaxCoreOf(g, q);
+  if (k == 0) return {q};
+  return ConnectedKCoreContaining(g, q, k);
+}
+
+}  // namespace cgnp

@@ -1,0 +1,20 @@
+#include "cs/ktruss_community.h"
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace cgnp {
+
+std::vector<NodeId> KTrussCommunity(const Graph& g, NodeId q, int64_t k) {
+  CGNP_CHECK_GE(q, 0);
+  CGNP_CHECK_LT(q, g.num_nodes());
+  if (k < 0) {
+    const EdgeList el = BuildEdgeList(g);
+    const std::vector<int64_t> truss = TrussNumbers(g, el);
+    k = MaxTrussOf(g, q, el, truss);
+  }
+  if (k <= 2 && g.Degree(q) == 0) return {q};
+  return ConnectedKTrussContaining(g, q, k);
+}
+
+}  // namespace cgnp

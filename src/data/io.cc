@@ -1,0 +1,115 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+Graph LoadGraphFromFiles(const std::string& edge_path,
+                         const std::string& community_path,
+                         const std::string& attribute_path) {
+  std::ifstream in(edge_path);
+  CGNP_CHECK(in.good()) << " cannot open edge file: " << edge_path;
+  std::vector<std::pair<int64_t, int64_t>> raw_edges;
+  std::unordered_map<int64_t, NodeId> id_map;
+  auto intern = [&id_map](int64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<NodeId>(id_map.size()));
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t u, v;
+    if (ls >> u >> v) raw_edges.emplace_back(u, v);
+  }
+  // Intern in first-seen order for stable ids.
+  for (auto& [u, v] : raw_edges) {
+    intern(u);
+    intern(v);
+  }
+  GraphBuilder b(static_cast<int64_t>(id_map.size()));
+  for (auto& [u, v] : raw_edges) b.AddEdge(id_map[u], id_map[v]);
+
+  if (!community_path.empty()) {
+    std::ifstream cin(community_path);
+    CGNP_CHECK(cin.good()) << " cannot open community file: " << community_path;
+    std::vector<int64_t> comm(id_map.size(), -1);
+    int64_t cid = 0;
+    while (std::getline(cin, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      int64_t raw;
+      bool any = false;
+      while (ls >> raw) {
+        auto it = id_map.find(raw);
+        if (it == id_map.end()) continue;  // member without edges: skip
+        if (comm[it->second] == -1) comm[it->second] = cid;
+        any = true;
+      }
+      if (any) ++cid;
+    }
+    b.SetCommunities(std::move(comm));
+  }
+
+  if (!attribute_path.empty()) {
+    std::ifstream ain(attribute_path);
+    CGNP_CHECK(ain.good()) << " cannot open attribute file: " << attribute_path;
+    std::vector<std::vector<int32_t>> attrs(id_map.size());
+    while (std::getline(ain, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      int64_t raw;
+      CGNP_CHECK(static_cast<bool>(ls >> raw)) << " bad attribute line";
+      auto it = id_map.find(raw);
+      if (it == id_map.end()) continue;
+      int32_t a;
+      while (ls >> a) attrs[it->second].push_back(a);
+    }
+    b.SetAttributes(std::move(attrs));
+  }
+  return b.Build();
+}
+
+void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
+                      const std::string& community_path,
+                      const std::string& attribute_path) {
+  {
+    std::ofstream out(edge_path);
+    CGNP_CHECK(out.good()) << " cannot write edge file: " << edge_path;
+    out << "# cgnp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+        << " edges\n";
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId u : g.Neighbors(v)) {
+        if (u > v) out << v << " " << u << "\n";
+      }
+    }
+  }
+  if (!community_path.empty() && g.has_communities()) {
+    std::ofstream out(community_path);
+    CGNP_CHECK(out.good());
+    for (int64_t c = 0; c < g.num_communities(); ++c) {
+      const auto members = g.CommunityMembers(c);
+      if (members.empty()) continue;
+      for (size_t i = 0; i < members.size(); ++i) {
+        out << (i ? " " : "") << members[i];
+      }
+      out << "\n";
+    }
+  }
+  if (!attribute_path.empty() && g.has_attributes()) {
+    std::ofstream out(attribute_path);
+    CGNP_CHECK(out.good());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << v;
+      for (int32_t a : g.Attributes(v)) out << " " << a;
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace cgnp

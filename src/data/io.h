@@ -1,0 +1,36 @@
+// Plain-text graph IO so the real evaluation datasets (SNAP edge lists +
+// community files) can be plugged into the library in place of the
+// synthetic profiles.
+//
+// Formats:
+//   Edge list      one "u v" pair per line; '#' comments; ids are
+//                  arbitrary non-negative integers, compacted on load.
+//   Community file one community per line: whitespace-separated member ids
+//                  (SNAP "top5000" style). Nodes in several communities
+//                  keep the first listed; nodes in none get -1.
+//   Attribute file one line per node: "node_id attr_id attr_id ...".
+#ifndef CGNP_DATA_IO_H_
+#define CGNP_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+// Loads an edge-list graph; optional community / attribute files enrich it.
+// Aborts on malformed input (this is an offline tool path).
+Graph LoadGraphFromFiles(const std::string& edge_path,
+                         const std::string& community_path = "",
+                         const std::string& attribute_path = "");
+
+// Writes g back out in the same formats (for round-trip tests and for
+// exporting synthetic datasets).
+void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
+                      const std::string& community_path = "",
+                      const std::string& attribute_path = "");
+
+}  // namespace cgnp
+
+#endif  // CGNP_DATA_IO_H_

@@ -1,0 +1,74 @@
+#include "data/metrics.h"
+
+#include "common/check.h"
+
+namespace cgnp {
+
+namespace {
+
+EvalStats FromCounts(int64_t tp, int64_t fp, int64_t tn, int64_t fn) {
+  EvalStats s;
+  const int64_t total = tp + fp + tn + fn;
+  s.accuracy = total > 0 ? static_cast<double>(tp + tn) / total : 0.0;
+  s.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  s.recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+}  // namespace
+
+EvalStats EvaluateScores(const std::vector<float>& probs,
+                         const std::vector<char>& truth, NodeId exclude,
+                         float threshold) {
+  CGNP_CHECK_EQ(probs.size(), truth.size());
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (size_t v = 0; v < probs.size(); ++v) {
+    if (static_cast<NodeId>(v) == exclude) continue;
+    const bool pred = probs[v] >= threshold;
+    const bool pos = truth[v] != 0;
+    if (pred && pos) {
+      ++tp;
+    } else if (pred && !pos) {
+      ++fp;
+    } else if (!pred && pos) {
+      ++fn;
+    } else {
+      ++tn;
+    }
+  }
+  return FromCounts(tp, fp, tn, fn);
+}
+
+EvalStats EvaluateSet(const std::vector<NodeId>& members,
+                      const std::vector<char>& truth, NodeId exclude) {
+  std::vector<float> probs(truth.size(), 0.0f);
+  for (NodeId v : members) {
+    CGNP_CHECK_GE(v, 0);
+    CGNP_CHECK_LT(v, static_cast<NodeId>(truth.size()));
+    probs[v] = 1.0f;
+  }
+  return EvaluateScores(probs, truth, exclude);
+}
+
+void StatsAccumulator::Add(const EvalStats& s) {
+  sum_.accuracy += s.accuracy;
+  sum_.precision += s.precision;
+  sum_.recall += s.recall;
+  sum_.f1 += s.f1;
+  ++count_;
+}
+
+EvalStats StatsAccumulator::MeanStats() const {
+  EvalStats s;
+  if (count_ == 0) return s;
+  s.accuracy = sum_.accuracy / count_;
+  s.precision = sum_.precision / count_;
+  s.recall = sum_.recall / count_;
+  s.f1 = sum_.f1 / count_;
+  return s;
+}
+
+}  // namespace cgnp

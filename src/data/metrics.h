@@ -1,0 +1,45 @@
+// Evaluation metrics (Section VII-A): accuracy, precision, recall, F1
+// between a predicted community membership and the ground truth, computed
+// over every node of the task graph except the query node itself.
+#ifndef CGNP_DATA_METRICS_H_
+#define CGNP_DATA_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+struct EvalStats {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Per-node probability scores (threshold 0.5) against the truth bitmap.
+// The node `exclude` (the query) is left out of the counts.
+EvalStats EvaluateScores(const std::vector<float>& probs,
+                         const std::vector<char>& truth, NodeId exclude,
+                         float threshold = 0.5f);
+
+// Set-valued prediction (classical algorithms) against the truth bitmap.
+EvalStats EvaluateSet(const std::vector<NodeId>& members,
+                      const std::vector<char>& truth, NodeId exclude);
+
+// Running mean over per-query stats.
+class StatsAccumulator {
+ public:
+  void Add(const EvalStats& s);
+  EvalStats MeanStats() const;
+  int64_t count() const { return count_; }
+
+ private:
+  EvalStats sum_;
+  int64_t count_ = 0;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_DATA_METRICS_H_

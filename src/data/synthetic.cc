@@ -1,0 +1,130 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+namespace {
+
+// Community sizes: equal when skew == 0, else proportional to rank^-skew.
+std::vector<int64_t> CommunitySizes(const SyntheticConfig& cfg) {
+  std::vector<double> weight(cfg.num_communities);
+  double total = 0;
+  for (int64_t c = 0; c < cfg.num_communities; ++c) {
+    weight[c] = cfg.community_size_skew == 0.0
+                    ? 1.0
+                    : std::pow(static_cast<double>(c + 1),
+                               -cfg.community_size_skew);
+    total += weight[c];
+  }
+  std::vector<int64_t> size(cfg.num_communities);
+  int64_t assigned = 0;
+  for (int64_t c = 0; c < cfg.num_communities; ++c) {
+    size[c] = std::max<int64_t>(
+        2, static_cast<int64_t>(cfg.num_nodes * weight[c] / total));
+    assigned += size[c];
+  }
+  // Adjust the largest community so sizes sum to num_nodes.
+  size[0] += cfg.num_nodes - assigned;
+  CGNP_CHECK_GE(size[0], 2);
+  return size;
+}
+
+}  // namespace
+
+Graph GenerateSyntheticGraph(const SyntheticConfig& cfg, Rng* rng) {
+  CGNP_CHECK_GE(cfg.num_nodes, 4);
+  CGNP_CHECK_GE(cfg.num_communities, 1);
+  CGNP_CHECK_LE(cfg.num_communities * 2, cfg.num_nodes);
+
+  const std::vector<int64_t> sizes = CommunitySizes(cfg);
+  std::vector<int64_t> community(cfg.num_nodes);
+  std::vector<std::vector<NodeId>> members(cfg.num_communities);
+  {
+    // Random assignment of nodes to the planned sizes.
+    std::vector<NodeId> perm(cfg.num_nodes);
+    for (NodeId v = 0; v < cfg.num_nodes; ++v) perm[v] = v;
+    rng->Shuffle(&perm);
+    int64_t at = 0;
+    for (int64_t c = 0; c < cfg.num_communities; ++c) {
+      for (int64_t i = 0; i < sizes[c]; ++i) {
+        const NodeId v = perm[at++];
+        community[v] = c;
+        members[c].push_back(v);
+      }
+    }
+  }
+
+  // Per-node degree multiplier (Pareto with alpha = 2.5, mean ~1).
+  std::vector<double> mult(cfg.num_nodes, 1.0);
+  if (cfg.power_law_degrees) {
+    for (NodeId v = 0; v < cfg.num_nodes; ++v) {
+      const double u = std::max(rng->NextDouble(), 1e-9);
+      mult[v] = 0.6 * std::pow(u, -1.0 / 2.5);  // mean = 0.6*alpha/(alpha-1) = 1
+    }
+  }
+
+  GraphBuilder builder(cfg.num_nodes);
+  // Intra-community edges: each node proposes ~intra_degree/2 partners from
+  // its own community (each undirected edge counted once).
+  for (NodeId v = 0; v < cfg.num_nodes; ++v) {
+    const auto& pool = members[community[v]];
+    if (pool.size() < 2) continue;
+    const double want = cfg.intra_degree * mult[v] / 2.0;
+    int64_t count = static_cast<int64_t>(want);
+    if (rng->NextDouble() < want - count) ++count;
+    for (int64_t i = 0; i < count; ++i) {
+      const NodeId u = pool[rng->NextInt(static_cast<int64_t>(pool.size()))];
+      if (u != v) builder.AddEdge(v, u);
+    }
+  }
+  // Inter-community edges: random partners anywhere (mostly other
+  // communities since communities are small relative to the graph).
+  for (NodeId v = 0; v < cfg.num_nodes; ++v) {
+    const double want = cfg.inter_degree * mult[v] / 2.0;
+    int64_t count = static_cast<int64_t>(want);
+    if (rng->NextDouble() < want - count) ++count;
+    for (int64_t i = 0; i < count; ++i) {
+      const NodeId u = rng->NextInt(cfg.num_nodes);
+      if (u != v && community[u] != community[v]) builder.AddEdge(v, u);
+    }
+  }
+
+  // Attributes: every community owns a pool of attribute ids; nodes draw
+  // attrs_per_node ids, each from the pool w.p. attr_affinity.
+  if (cfg.attribute_dim > 0) {
+    CGNP_CHECK_GE(cfg.attribute_dim, cfg.attrs_per_community_pool);
+    std::vector<std::vector<int32_t>> pools(cfg.num_communities);
+    for (int64_t c = 0; c < cfg.num_communities; ++c) {
+      std::set<int32_t> pool;
+      while (static_cast<int64_t>(pool.size()) < cfg.attrs_per_community_pool) {
+        pool.insert(static_cast<int32_t>(rng->NextInt(cfg.attribute_dim)));
+      }
+      pools[c].assign(pool.begin(), pool.end());
+    }
+    std::vector<std::vector<int32_t>> attrs(cfg.num_nodes);
+    for (NodeId v = 0; v < cfg.num_nodes; ++v) {
+      std::set<int32_t> mine;
+      while (static_cast<int64_t>(mine.size()) < cfg.attrs_per_node) {
+        if (rng->NextDouble() < cfg.attr_affinity) {
+          const auto& pool = pools[community[v]];
+          mine.insert(pool[rng->NextInt(static_cast<int64_t>(pool.size()))]);
+        } else {
+          mine.insert(static_cast<int32_t>(rng->NextInt(cfg.attribute_dim)));
+        }
+      }
+      attrs[v].assign(mine.begin(), mine.end());
+    }
+    builder.SetAttributes(std::move(attrs));
+  }
+
+  builder.SetCommunities(std::move(community));
+  return builder.Build();
+}
+
+}  // namespace cgnp

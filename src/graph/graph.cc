@@ -1,0 +1,219 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nb = Neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+Tensor Graph::FeatureTensor() const {
+  CGNP_CHECK(has_features());
+  return Tensor::FromVector({num_nodes_, feature_dim_}, features_);
+}
+
+const std::vector<int32_t>& Graph::Attributes(NodeId v) const {
+  static const std::vector<int32_t> kEmpty;
+  if (attrs_.empty()) return kEmpty;
+  return attrs_[v];
+}
+
+int64_t Graph::num_communities() const {
+  int64_t mx = -1;
+  for (int64_t c : community_) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+std::vector<NodeId> Graph::CommunityMembers(int64_t c) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (community_[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+const SparseMatrix& Graph::GcnAdjacency() const {
+  if (gcn_adj_built_) return gcn_adj_;
+  // A_hat = D^{-1/2} (A + I) D^{-1/2}, with D the degree of (A + I).
+  const int64_t n = num_nodes_;
+  std::vector<float> inv_sqrt_deg(n);
+  for (NodeId v = 0; v < n; ++v) {
+    inv_sqrt_deg[v] = 1.0f / std::sqrt(static_cast<float>(Degree(v) + 1));
+  }
+  std::vector<int64_t> rp(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) rp[v + 1] = rp[v] + Degree(v) + 1;
+  std::vector<int64_t> ci(rp[n]);
+  std::vector<float> vals(rp[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    int64_t pos = rp[v];
+    bool self_placed = false;
+    for (NodeId u : Neighbors(v)) {
+      if (!self_placed && u > v) {
+        ci[pos] = v;
+        vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
+        ++pos;
+        self_placed = true;
+      }
+      ci[pos] = u;
+      vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[u];
+      ++pos;
+    }
+    if (!self_placed) {
+      ci[pos] = v;
+      vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
+      ++pos;
+    }
+    CGNP_CHECK_EQ(pos, rp[v + 1]);
+  }
+  gcn_adj_ = SparseMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
+  gcn_adj_.set_is_symmetric(true);
+  gcn_adj_built_ = true;
+  return gcn_adj_;
+}
+
+const SparseMatrix& Graph::MeanAdjacency() const {
+  if (mean_adj_built_) return mean_adj_;
+  const int64_t n = num_nodes_;
+  std::vector<int64_t> rp(row_ptr_);
+  std::vector<int64_t> ci(col_idx_.begin(), col_idx_.end());
+  std::vector<float> vals(ci.size());
+  for (NodeId v = 0; v < n; ++v) {
+    const float inv = Degree(v) > 0 ? 1.0f / static_cast<float>(Degree(v)) : 0.0f;
+    for (int64_t e = rp[v]; e < rp[v + 1]; ++e) vals[e] = inv;
+  }
+  mean_adj_ = SparseMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
+  // Row-normalisation breaks symmetry; backward uses the explicit transpose.
+  mean_adj_.set_is_symmetric(false);
+  mean_adj_built_ = true;
+  return mean_adj_;
+}
+
+const Graph::EdgeIndex& Graph::AttentionEdges() const {
+  if (attn_edges_built_) return attn_edges_;
+  const int64_t n = num_nodes_;
+  EdgeIndex idx;
+  idx.seg_ptr.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) idx.seg_ptr[v + 1] = idx.seg_ptr[v] + Degree(v) + 1;
+  const int64_t m = idx.seg_ptr[n];
+  idx.src.resize(m);
+  idx.dst.resize(m);
+  for (NodeId v = 0; v < n; ++v) {
+    int64_t pos = idx.seg_ptr[v];
+    idx.src[pos] = v;  // self loop first
+    idx.dst[pos] = v;
+    ++pos;
+    for (NodeId u : Neighbors(v)) {
+      idx.src[pos] = u;
+      idx.dst[pos] = v;
+      ++pos;
+    }
+  }
+  attn_edges_ = std::move(idx);
+  attn_edges_built_ = true;
+  return attn_edges_;
+}
+
+GraphBuilder::GraphBuilder(int64_t num_nodes) : num_nodes_(num_nodes) {
+  CGNP_CHECK_GE(num_nodes, 0);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  CGNP_CHECK_GE(u, 0);
+  CGNP_CHECK_LT(u, num_nodes_);
+  CGNP_CHECK_GE(v, 0);
+  CGNP_CHECK_LT(v, num_nodes_);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::SetFeatures(int64_t dim, std::vector<float> features) {
+  CGNP_CHECK_EQ(static_cast<int64_t>(features.size()), num_nodes_ * dim);
+  feature_dim_ = dim;
+  features_ = std::move(features);
+}
+
+void GraphBuilder::SetAttributes(std::vector<std::vector<int32_t>> attrs) {
+  CGNP_CHECK_EQ(static_cast<int64_t>(attrs.size()), num_nodes_);
+  attrs_ = std::move(attrs);
+  for (auto& a : attrs_) std::sort(a.begin(), a.end());
+}
+
+void GraphBuilder::SetCommunities(std::vector<int64_t> community) {
+  CGNP_CHECK_EQ(static_cast<int64_t>(community.size()), num_nodes_);
+  community_ = std::move(community);
+}
+
+Graph GraphBuilder::Build() {
+  // Canonicalise: drop self loops, deduplicate, emit both directions sorted.
+  std::vector<std::pair<NodeId, NodeId>> dir;
+  dir.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    dir.emplace_back(u, v);
+    dir.emplace_back(v, u);
+  }
+  std::sort(dir.begin(), dir.end());
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.row_ptr_.assign(num_nodes_ + 1, 0);
+  g.col_idx_.resize(dir.size());
+  for (auto [u, v] : dir) ++g.row_ptr_[u + 1];
+  for (int64_t i = 0; i < num_nodes_; ++i) g.row_ptr_[i + 1] += g.row_ptr_[i];
+  {
+    std::vector<int64_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+    for (auto [u, v] : dir) g.col_idx_[cursor[u]++] = v;
+  }
+  g.feature_dim_ = feature_dim_;
+  g.features_ = std::move(features_);
+  g.attrs_ = std::move(attrs_);
+  g.community_ = std::move(community_);
+  return g;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* new_of_old) {
+  std::vector<NodeId> map(g.num_nodes(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    CGNP_CHECK_EQ(map[nodes[i]], -1) << " duplicate node in InducedSubgraph";
+    map[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder b(static_cast<int64_t>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId v = nodes[i];
+    for (NodeId u : g.Neighbors(v)) {
+      if (map[u] > static_cast<NodeId>(i)) {
+        b.AddEdge(static_cast<NodeId>(i), map[u]);
+      }
+    }
+  }
+  if (g.has_features()) {
+    const int64_t d = g.feature_dim();
+    std::vector<float> feats(nodes.size() * d);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const float* src = g.features().data() + nodes[i] * d;
+      std::copy(src, src + d, feats.data() + i * d);
+    }
+    b.SetFeatures(d, std::move(feats));
+  }
+  if (g.has_attributes()) {
+    std::vector<std::vector<int32_t>> attrs(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) attrs[i] = g.Attributes(nodes[i]);
+    b.SetAttributes(std::move(attrs));
+  }
+  if (g.has_communities()) {
+    std::vector<int64_t> comm(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) comm[i] = g.CommunityOf(nodes[i]);
+    b.SetCommunities(std::move(comm));
+  }
+  if (new_of_old != nullptr) *new_of_old = std::move(map);
+  return b.Build();
+}
+
+}  // namespace cgnp

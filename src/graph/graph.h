@@ -1,0 +1,143 @@
+// Immutable undirected attributed graph in CSR form.
+//
+// A Graph stores:
+//   * structure: CSR adjacency (every undirected edge appears in both
+//     directions; no self loops; no parallel edges),
+//   * optional dense node features (row-major n x d floats) used as GNN
+//     inputs,
+//   * optional discrete attribute-id sets per node (used by the attributed
+//     community-search algorithms ACQ and ATC, mirroring the paper's one-hot
+//     attribute vectors A(v)),
+//   * optional ground-truth community labels (community id per node, -1 if
+//     unlabelled) used by the dataset substrate to derive training samples.
+//
+// Construction goes through GraphBuilder, which deduplicates edges and
+// canonicalises the CSR ordering (sorted neighbor lists), so algorithms can
+// rely on sorted adjacency for O(deg) set intersections.
+#ifndef CGNP_GRAPH_GRAPH_H_
+#define CGNP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace cgnp {
+
+using NodeId = int64_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  int64_t num_nodes() const { return num_nodes_; }
+  // Number of undirected edges.
+  int64_t num_edges() const { return static_cast<int64_t>(col_idx_.size()) / 2; }
+
+  int64_t Degree(NodeId v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+  // Sorted neighbor list of v.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {col_idx_.data() + row_ptr_[v],
+            static_cast<size_t>(row_ptr_[v + 1] - row_ptr_[v])};
+  }
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<NodeId>& col_idx() const { return col_idx_; }
+
+  // --- Dense features -------------------------------------------------------
+  bool has_features() const { return feature_dim_ > 0; }
+  int64_t feature_dim() const { return feature_dim_; }
+  // Feature matrix as a (non-differentiable) {n, d} tensor.
+  Tensor FeatureTensor() const;
+  const std::vector<float>& features() const { return features_; }
+
+  // --- Discrete attributes (for ACQ / ATC) ----------------------------------
+  bool has_attributes() const { return !attrs_.empty(); }
+  // Sorted attribute ids of node v (empty when absent).
+  const std::vector<int32_t>& Attributes(NodeId v) const;
+
+  // --- Ground-truth communities ---------------------------------------------
+  bool has_communities() const { return !community_.empty(); }
+  // Community id of v, or -1 when unlabelled.
+  int64_t CommunityOf(NodeId v) const { return community_[v]; }
+  const std::vector<int64_t>& communities() const { return community_; }
+  int64_t num_communities() const;
+  // All members of community c.
+  std::vector<NodeId> CommunityMembers(int64_t c) const;
+
+  // --- GNN adjacency views (cached) -----------------------------------------
+  // Symmetrically normalised adjacency with self loops:
+  //   D^{-1/2} (A + I) D^{-1/2}       (GCN propagation matrix)
+  const SparseMatrix& GcnAdjacency() const;
+  // Row-normalised adjacency without self loops: mean over neighbors (SAGE).
+  const SparseMatrix& MeanAdjacency() const;
+
+  // Per-edge index with self loops for attention layers: edges grouped by
+  // destination (CSR segments).
+  struct EdgeIndex {
+    std::vector<int64_t> seg_ptr;  // n+1; in-edges of node i in [seg_ptr[i], seg_ptr[i+1])
+    std::vector<int64_t> src;      // source node per edge
+    std::vector<int64_t> dst;      // destination node per edge
+  };
+  const EdgeIndex& AttentionEdges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  int64_t num_nodes_ = 0;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<NodeId> col_idx_;
+
+  int64_t feature_dim_ = 0;
+  std::vector<float> features_;
+  std::vector<std::vector<int32_t>> attrs_;
+  std::vector<int64_t> community_;
+
+  // Lazily built, cached adjacency views.
+  mutable SparseMatrix gcn_adj_;
+  mutable bool gcn_adj_built_ = false;
+  mutable SparseMatrix mean_adj_;
+  mutable bool mean_adj_built_ = false;
+  mutable EdgeIndex attn_edges_;
+  mutable bool attn_edges_built_ = false;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int64_t num_nodes);
+
+  // Adds an undirected edge; self loops and duplicates are dropped at Build.
+  void AddEdge(NodeId u, NodeId v);
+
+  // Dense feature matrix, row-major num_nodes x dim.
+  void SetFeatures(int64_t dim, std::vector<float> features);
+  // Discrete attribute ids per node (will be sorted).
+  void SetAttributes(std::vector<std::vector<int32_t>> attrs);
+  // Ground-truth community id per node (-1 = unlabelled).
+  void SetCommunities(std::vector<int64_t> community);
+
+  int64_t num_nodes() const { return num_nodes_; }
+
+  Graph Build();
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  int64_t feature_dim_ = 0;
+  std::vector<float> features_;
+  std::vector<std::vector<int32_t>> attrs_;
+  std::vector<int64_t> community_;
+};
+
+// Induced subgraph on `nodes` (order defines new ids). Features, attributes
+// and community labels are carried over. If `new_of_old` is non-null it
+// receives a num_nodes-sized map old-id -> new-id (-1 when dropped).
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
+                      std::vector<NodeId>* new_of_old = nullptr);
+
+}  // namespace cgnp
+
+#endif  // CGNP_GRAPH_GRAPH_H_

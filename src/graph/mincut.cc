@@ -1,0 +1,85 @@
+#include "graph/mincut.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace cgnp {
+
+MinCutResult GlobalMinCut(const Graph& g) {
+  const int64_t n = g.num_nodes();
+  MinCutResult result;
+  if (n < 2) return result;
+
+  // Disconnected graphs have a zero cut along any component boundary.
+  {
+    const auto cc = ConnectedComponents(g);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cc[v] != cc[0]) {
+        result.cut_weight = 0;
+        for (NodeId u = 0; u < n; ++u) {
+          if (cc[u] == cc[0]) result.partition.push_back(u);
+        }
+        return result;
+      }
+    }
+  }
+
+  // Stoer-Wagner with an adjacency matrix of contracted super-nodes.
+  // merged[i] lists the original nodes contracted into super-node i.
+  std::vector<std::vector<int64_t>> w(n, std::vector<int64_t>(n, 0));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : g.Neighbors(v)) w[v][u] = 1;
+  }
+  std::vector<std::vector<NodeId>> merged(n);
+  for (NodeId v = 0; v < n; ++v) merged[v] = {v};
+  std::vector<int64_t> active;
+  for (NodeId v = 0; v < n; ++v) active.push_back(v);
+
+  int64_t best_cut = INT64_MAX;
+  std::vector<NodeId> best_side;
+
+  while (active.size() > 1) {
+    // Maximum-adjacency ordering ("minimum cut phase").
+    std::vector<int64_t> weight_to_set(n, 0);
+    std::vector<char> in_set(n, 0);
+    int64_t prev = -1, last = -1;
+    for (size_t step = 0; step < active.size(); ++step) {
+      int64_t pick = -1;
+      for (int64_t v : active) {
+        if (!in_set[v] && (pick == -1 || weight_to_set[v] > weight_to_set[pick])) {
+          pick = v;
+        }
+      }
+      in_set[pick] = 1;
+      prev = last;
+      last = pick;
+      for (int64_t v : active) {
+        if (!in_set[v]) weight_to_set[v] += w[pick][v];
+      }
+    }
+    // Cut-of-the-phase: `last` alone vs the rest.
+    if (weight_to_set[last] < best_cut) {
+      best_cut = weight_to_set[last];
+      best_side = merged[last];
+    }
+    // Contract last into prev.
+    CGNP_CHECK_NE(prev, -1);
+    for (int64_t v : active) {
+      if (v == prev || v == last) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+    merged[prev].insert(merged[prev].end(), merged[last].begin(),
+                        merged[last].end());
+    active.erase(std::find(active.begin(), active.end(), last));
+  }
+
+  result.cut_weight = best_cut;
+  result.partition = std::move(best_side);
+  std::sort(result.partition.begin(), result.partition.end());
+  return result;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,31 @@
+// Global minimum cut (Stoer-Wagner 1997) on small graphs.
+//
+// Substrate for the k-edge-connected-component community model: a connected
+// subgraph is k-edge-connected iff its global min cut is >= k, and when it
+// is not, the minimum cut provides the split to recurse on. O(n^3), which
+// is fine for task-sized graphs (the paper's tasks are 200-node BFS
+// samples).
+#ifndef CGNP_GRAPH_MINCUT_H_
+#define CGNP_GRAPH_MINCUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+struct MinCutResult {
+  // Weight of the minimum cut (edge count for unweighted graphs);
+  // 0 when the graph is disconnected, -1 when it has < 2 nodes.
+  int64_t cut_weight = -1;
+  // One side of the minimum cut (node ids of g).
+  std::vector<NodeId> partition;
+};
+
+// Global min cut of g (unweighted: every edge counts 1).
+MinCutResult GlobalMinCut(const Graph& g);
+
+}  // namespace cgnp
+
+#endif  // CGNP_GRAPH_MINCUT_H_

@@ -1,0 +1,79 @@
+#include "graph/sampling.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+std::vector<NodeId> BfsSample(const Graph& g, NodeId seed, int64_t max_nodes,
+                              Rng* rng) {
+  CGNP_CHECK_GE(seed, 0);
+  CGNP_CHECK_LT(seed, g.num_nodes());
+  CGNP_CHECK_GT(max_nodes, 0);
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> out;
+  std::deque<NodeId> frontier;
+  seen[seed] = 1;
+  frontier.push_back(seed);
+  while (!frontier.empty() && static_cast<int64_t>(out.size()) < max_nodes) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    out.push_back(v);
+    std::vector<NodeId> nbrs(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    rng->Shuffle(&nbrs);
+    for (NodeId u : nbrs) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> BfsSampleWithRestarts(const Graph& g, NodeId seed,
+                                          int64_t max_nodes, Rng* rng) {
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> out;
+  NodeId start = seed;
+  while (static_cast<int64_t>(out.size()) < max_nodes) {
+    if (seen[start]) {
+      // Find an unseen restart node; give up when the graph is exhausted.
+      NodeId candidate = -1;
+      for (int attempts = 0; attempts < 32; ++attempts) {
+        const NodeId r = rng->NextInt(g.num_nodes());
+        if (!seen[r]) {
+          candidate = r;
+          break;
+        }
+      }
+      if (candidate == -1) {
+        for (NodeId v = 0; v < g.num_nodes() && candidate == -1; ++v) {
+          if (!seen[v]) candidate = v;
+        }
+      }
+      if (candidate == -1) break;  // whole graph sampled
+      start = candidate;
+    }
+    std::deque<NodeId> frontier;
+    seen[start] = 1;
+    frontier.push_back(start);
+    while (!frontier.empty() && static_cast<int64_t>(out.size()) < max_nodes) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      out.push_back(v);
+      std::vector<NodeId> nbrs(g.Neighbors(v).begin(), g.Neighbors(v).end());
+      rng->Shuffle(&nbrs);
+      for (NodeId u : nbrs) {
+        if (!seen[u]) {
+          seen[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,45 @@
+// AQD-GNN baseline (Jiang et al., VLDB 2022): query-driven GNN for
+// (attributed) community search. The architecture fuses a graph encoder
+// over node features with a query encoder over the query-indicator signal;
+// the fused representation is decoded to per-node membership logits. Per
+// the paper's evaluation protocol the model is trained from scratch on each
+// test task's support set.
+#ifndef CGNP_META_AQD_GNN_H_
+#define CGNP_META_AQD_GNN_H_
+
+#include <memory>
+
+#include "meta/method.h"
+#include "nn/gnn_stack.h"
+#include "nn/mlp.h"
+
+namespace cgnp {
+
+// Fusion model: logits = MLP([GNN_graph(X) || GNN_query(Iq)]).
+class AqdGnnModel : public Module {
+ public:
+  AqdGnnModel(const MethodConfig& cfg, int64_t feature_dim, Rng* rng);
+
+  Tensor Forward(const Graph& g, NodeId q, Rng* rng) const;
+
+ private:
+  GnnStack graph_encoder_;
+  GnnStack query_encoder_;
+  Mlp fusion_;
+};
+
+class AqdGnnCs : public CsMethod {
+ public:
+  explicit AqdGnnCs(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "AQD-GNN"; }
+  void MetaTrain(const std::vector<CsTask>& train_tasks) override;
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  MethodConfig cfg_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_AQD_GNN_H_

@@ -1,0 +1,91 @@
+#include "meta/classical.h"
+
+namespace cgnp {
+
+namespace {
+
+std::vector<float> MembersToProbs(const std::vector<NodeId>& members,
+                                  int64_t n) {
+  std::vector<float> probs(n, 0.0f);
+  for (NodeId v : members) probs[v] = 1.0f;
+  return probs;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> AtcMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(
+        MembersToProbs(AttributedTrussCommunity(task.graph, ex.query, cfg_),
+                       task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> AcqMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    auto members = AttributedCommunityQuery(task.graph, ex.query, cfg_);
+    if (members.empty()) {
+      members = KCoreCommunity(task.graph, ex.query, cfg_.k);
+    }
+    out.push_back(MembersToProbs(members, task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> CtcMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(MembersToProbs(ClosestTrussCommunity(task.graph, ex.query, cfg_),
+                                 task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> KCoreMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(MembersToProbs(KCoreCommunity(task.graph, ex.query),
+                                 task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> KTrussMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(MembersToProbs(KTrussCommunity(task.graph, ex.query),
+                                 task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> KCliqueMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    auto members = KCliqueCommunity(task.graph, ex.query, cfg_);
+    if (members.empty()) members.push_back(ex.query);
+    out.push_back(MembersToProbs(members, task.graph.num_nodes()));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> KEccMethod::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(MembersToProbs(KEccCommunity(task.graph, ex.query, cfg_),
+                                 task.graph.num_nodes()));
+  }
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,98 @@
+// CsMethod adapters around the classical community-search algorithms so the
+// benchmark harness can evaluate them alongside the learned methods. They
+// ignore ground truth entirely and output 0/1 memberships.
+#ifndef CGNP_META_CLASSICAL_H_
+#define CGNP_META_CLASSICAL_H_
+
+#include "cs/acq.h"
+#include "cs/atc.h"
+#include "cs/ctc.h"
+#include "cs/kclique_community.h"
+#include "cs/kcore_community.h"
+#include "cs/kecc_community.h"
+#include "cs/ktruss_community.h"
+#include "meta/method.h"
+
+namespace cgnp {
+
+class AtcMethod : public CsMethod {
+ public:
+  explicit AtcMethod(const AtcConfig& cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "ATC"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  AtcConfig cfg_;
+};
+
+class AcqMethod : public CsMethod {
+ public:
+  explicit AcqMethod(const AcqConfig& cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "ACQ"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  // Falls back to the k-core community when no attributed community exists
+  // (matching ACQ's inapplicability to non-attributed graphs is handled by
+  // the benches, which skip it there as the paper does).
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+  // True when the task graphs carry attributes (ACQ's requirement).
+  static bool Supports(const CsTask& task) {
+    return task.graph.has_attributes();
+  }
+
+ private:
+  AcqConfig cfg_;
+};
+
+class CtcMethod : public CsMethod {
+ public:
+  explicit CtcMethod(const CtcConfig& cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "CTC"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  CtcConfig cfg_;
+};
+
+// Plain structural baselines (useful in the examples and ablations).
+class KCoreMethod : public CsMethod {
+ public:
+  std::string name() const override { return "k-core"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+};
+
+class KTrussMethod : public CsMethod {
+ public:
+  std::string name() const override { return "k-truss"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+};
+
+class KCliqueMethod : public CsMethod {
+ public:
+  explicit KCliqueMethod(const KCliqueConfig& cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "k-clique"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  KCliqueConfig cfg_;
+};
+
+class KEccMethod : public CsMethod {
+ public:
+  explicit KEccMethod(const KEccConfig& cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "k-ecc"; }
+  void MetaTrain(const std::vector<CsTask>&) override {}
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  KEccConfig cfg_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_CLASSICAL_H_

@@ -1,0 +1,50 @@
+#include "meta/feat_trans.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+void FeatTransCs::MetaTrain(const std::vector<CsTask>& train_tasks) {
+  CGNP_CHECK(!train_tasks.empty());
+  Rng rng(cfg_.seed);
+  model_ = std::make_unique<QueryGnn>(
+      cfg_, train_tasks.front().graph.feature_dim(), &rng);
+  Adam opt(model_->Parameters(), cfg_.lr);
+  model_->SetTraining(true);
+  // Pre-train on the union of every task's labelled queries.
+  for (int64_t epoch = 0; epoch < cfg_.meta_epochs; ++epoch) {
+    for (const auto& task : train_tasks) {
+      std::vector<QueryExample> all = task.support;
+      all.insert(all.end(), task.query.begin(), task.query.end());
+      QueryGnnEpoch(model_.get(), task.graph, all, &rng, &opt);
+    }
+  }
+  model_->SetTraining(false);
+  pretrained_ = model_->FlatParameters();
+}
+
+std::vector<std::vector<float>> FeatTransCs::PredictTask(const CsTask& task) {
+  CGNP_CHECK(model_ != nullptr) << " FeatTrans requires MetaTrain first";
+  Rng rng(cfg_.seed);
+  model_->SetFlatParameters(pretrained_);
+  // Fine-tune the final layer only, a few gradient steps on the support set.
+  Sgd opt(model_->FinalLayerParameters(), cfg_.inner_lr);
+  model_->SetTraining(true);
+  constexpr int64_t kFineTuneSteps = 5;
+  for (int64_t step = 0; step < kFineTuneSteps; ++step) {
+    QueryGnnEpoch(model_.get(), task.graph, task.support, &rng, &opt);
+  }
+  model_->SetTraining(false);
+  NoGradGuard no_grad;
+  std::vector<std::vector<float>> out;
+  for (const auto& ex : task.query) {
+    out.push_back(
+        SigmoidValues(model_->Forward(task.graph, ex.query, nullptr)));
+  }
+  model_->SetFlatParameters(pretrained_);
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,29 @@
+// Feature-transfer baseline (Section IV): a GNN pre-trained on the union of
+// all training-task data; at test time only the final layer is fine-tuned
+// on the support set by a few gradient steps.
+#ifndef CGNP_META_FEAT_TRANS_H_
+#define CGNP_META_FEAT_TRANS_H_
+
+#include <memory>
+
+#include "meta/query_gnn.h"
+
+namespace cgnp {
+
+class FeatTransCs : public CsMethod {
+ public:
+  explicit FeatTransCs(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "FeatTrans"; }
+  void MetaTrain(const std::vector<CsTask>& train_tasks) override;
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  MethodConfig cfg_;
+  std::unique_ptr<QueryGnn> model_;
+  std::vector<float> pretrained_;  // snapshot restored after each task
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_FEAT_TRANS_H_

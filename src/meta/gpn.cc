@@ -1,0 +1,98 @@
+#include "meta/gpn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "meta/query_gnn.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+namespace {
+
+// Number of ground-truth samples used to build each prototype at test time
+// (Section VII-A: "3 positive samples and 3 negative samples").
+constexpr int64_t kProtoSamples = 3;
+
+}  // namespace
+
+Tensor GpnCs::PrototypeLogits(const Tensor& h,
+                              const std::vector<NodeId>& proto_pos,
+                              const std::vector<NodeId>& proto_neg) const {
+  CGNP_CHECK(!proto_pos.empty());
+  CGNP_CHECK(!proto_neg.empty());
+  Tensor c_pos = MeanDim(IndexSelectRows(h, proto_pos), 0);  // {1,d}
+  Tensor c_neg = MeanDim(IndexSelectRows(h, proto_neg), 0);
+  Tensor d_pos = SumDim(Square(Sub(h, c_pos)), 1);  // {n,1}
+  Tensor d_neg = SumDim(Square(Sub(h, c_neg)), 1);
+  // softmax([-d_pos, -d_neg]) membership prob == sigmoid(d_neg - d_pos).
+  return Sub(d_neg, d_pos);
+}
+
+void GpnCs::MetaTrain(const std::vector<CsTask>& train_tasks) {
+  CGNP_CHECK(!train_tasks.empty());
+  Rng rng(cfg_.seed);
+  std::vector<int64_t> dims;
+  dims.push_back(train_tasks.front().graph.feature_dim());
+  for (int64_t i = 0; i < cfg_.num_layers; ++i) dims.push_back(cfg_.hidden_dim);
+  encoder_ = std::make_unique<GnnStack>(cfg_.gnn, dims, &rng, cfg_.dropout);
+  Adam opt(encoder_->Parameters(), cfg_.lr);
+  encoder_->SetTraining(true);
+
+  std::vector<float> targets, mask;
+  for (int64_t epoch = 0; epoch < cfg_.meta_epochs; ++epoch) {
+    for (const auto& task : train_tasks) {
+      std::vector<QueryExample> all = task.support;
+      all.insert(all.end(), task.query.begin(), task.query.end());
+      opt.ZeroGrad();
+      Tensor loss_sum;
+      int64_t used = 0;
+      Tensor h = encoder_->Forward(task.graph, task.graph.FeatureTensor(), &rng);
+      for (const auto& ex : all) {
+        // Split ground truth: half for prototypes, half for the loss.
+        if (ex.pos.size() < 2 || ex.neg.size() < 2) continue;
+        const int64_t half_pos = static_cast<int64_t>(ex.pos.size()) / 2;
+        const int64_t half_neg = static_cast<int64_t>(ex.neg.size()) / 2;
+        std::vector<NodeId> proto_pos(ex.pos.begin(), ex.pos.begin() + half_pos);
+        proto_pos.push_back(ex.query);
+        std::vector<NodeId> proto_neg(ex.neg.begin(), ex.neg.begin() + half_neg);
+        QueryExample loss_ex;
+        loss_ex.query = ex.query;
+        loss_ex.pos.assign(ex.pos.begin() + half_pos, ex.pos.end());
+        loss_ex.neg.assign(ex.neg.begin() + half_neg, ex.neg.end());
+        Tensor logits = PrototypeLogits(h, proto_pos, proto_neg);
+        ExampleTargets(loss_ex, task.graph.num_nodes(), &targets, &mask);
+        Tensor loss = BceWithLogits(logits, targets, mask);
+        loss_sum = loss_sum.Defined() ? Add(loss_sum, loss) : loss;
+        ++used;
+      }
+      if (used == 0) continue;
+      loss_sum = MulScalar(loss_sum, 1.0f / static_cast<float>(used));
+      loss_sum.Backward();
+      opt.Step();
+    }
+  }
+  encoder_->SetTraining(false);
+}
+
+std::vector<std::vector<float>> GpnCs::PredictTask(const CsTask& task) {
+  CGNP_CHECK(encoder_ != nullptr) << " GPN requires MetaTrain first";
+  NoGradGuard no_grad;
+  Tensor h = encoder_->Forward(task.graph, task.graph.FeatureTensor(), nullptr);
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    std::vector<NodeId> proto_pos(
+        ex.pos.begin(),
+        ex.pos.begin() + std::min<int64_t>(kProtoSamples, ex.pos.size()));
+    proto_pos.push_back(ex.query);
+    std::vector<NodeId> proto_neg(
+        ex.neg.begin(),
+        ex.neg.begin() + std::min<int64_t>(kProtoSamples, ex.neg.size()));
+    out.push_back(SigmoidValues(PrototypeLogits(h, proto_pos, proto_neg)));
+  }
+  return out;
+}
+
+}  // namespace cgnp

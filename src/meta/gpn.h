@@ -1,0 +1,37 @@
+// Graph Prototypical Network baseline (Section IV, adapted from Snell et
+// al. 2017): a GNN encoder maps nodes to a metric space; each query builds
+// positive / negative prototypes from its own ground-truth samples (Eq. 7)
+// and membership is scored by distance to the prototypes (Eq. 8). As the
+// paper notes, GPN requires test queries to carry ground truth (prototype
+// construction is infeasible without it); the benchmark grants it the
+// query's labelled samples, like the original evaluation does.
+#ifndef CGNP_META_GPN_H_
+#define CGNP_META_GPN_H_
+
+#include <memory>
+
+#include "meta/method.h"
+#include "nn/gnn_stack.h"
+
+namespace cgnp {
+
+class GpnCs : public CsMethod {
+ public:
+  explicit GpnCs(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "GPN"; }
+  void MetaTrain(const std::vector<CsTask>& train_tasks) override;
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  // Membership logits (d_neg - d_pos) for one example given encoder output.
+  Tensor PrototypeLogits(const Tensor& h, const std::vector<NodeId>& proto_pos,
+                         const std::vector<NodeId>& proto_neg) const;
+
+  MethodConfig cfg_;
+  std::unique_ptr<GnnStack> encoder_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_GPN_H_

@@ -1,0 +1,76 @@
+#include "meta/ics_gnn.h"
+
+#include <queue>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+std::vector<NodeId> GrowCommunityByScore(const Graph& g, NodeId q,
+                                         const std::vector<float>& scores,
+                                         int64_t size) {
+  std::vector<char> in(g.num_nodes(), 0);
+  std::vector<char> frontier_mark(g.num_nodes(), 0);
+  using Entry = std::pair<float, NodeId>;
+  std::priority_queue<Entry> frontier;
+  std::vector<NodeId> members;
+  in[q] = 1;
+  members.push_back(q);
+  for (NodeId u : g.Neighbors(q)) {
+    if (!frontier_mark[u]) {
+      frontier_mark[u] = 1;
+      frontier.emplace(scores[u], u);
+    }
+  }
+  while (static_cast<int64_t>(members.size()) < size && !frontier.empty()) {
+    const auto [score, v] = frontier.top();
+    frontier.pop();
+    if (in[v]) continue;
+    in[v] = 1;
+    members.push_back(v);
+    for (NodeId u : g.Neighbors(v)) {
+      if (!in[u] && !frontier_mark[u]) {
+        frontier_mark[u] = 1;
+        frontier.emplace(scores[u], u);
+      }
+    }
+  }
+  return members;
+}
+
+void IcsGnnCs::MetaTrain(const std::vector<CsTask>& train_tasks) {
+  // Query-specific models: nothing to meta-train.
+  (void)train_tasks;
+}
+
+std::vector<std::vector<float>> IcsGnnCs::PredictTask(const CsTask& task) {
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    // Train a fresh model on this query's own labelled samples.
+    Rng rng(cfg_.seed);
+    QueryGnn model(cfg_, task.graph.feature_dim(), &rng);
+    Adam opt(model.Parameters(), cfg_.lr);
+    model.SetTraining(true);
+    const std::vector<QueryExample> batch = {ex};
+    for (int64_t epoch = 0; epoch < cfg_.per_task_epochs; ++epoch) {
+      QueryGnnEpoch(&model, task.graph, batch, &rng, &opt);
+    }
+    model.SetTraining(false);
+    std::vector<float> scores;
+    {
+      NoGradGuard no_grad;
+      scores = SigmoidValues(model.Forward(task.graph, ex.query, nullptr));
+    }
+    const std::vector<NodeId> members = GrowCommunityByScore(
+        task.graph, ex.query, scores, cfg_.ics_community_size);
+    std::vector<float> probs(task.graph.num_nodes(), 0.0f);
+    for (NodeId v : members) probs[v] = 1.0f;
+    out.push_back(std::move(probs));
+  }
+  return out;
+}
+
+}  // namespace cgnp

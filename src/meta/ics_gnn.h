@@ -1,0 +1,35 @@
+// ICS-GNN baseline (Gao et al., VLDB 2021): interactive community search.
+// A lightweight GNN is trained per query on that query's own labelled
+// samples, then a community of a fixed number of nodes is grown greedily
+// around the query, maximising the sum of predicted scores over a connected
+// subgraph (the paper's swap-based heuristic reduced to its greedy core).
+// Like GPN, ICS-GNN consumes the test query's ground truth; the paper
+// highlights this when comparing against it.
+#ifndef CGNP_META_ICS_GNN_H_
+#define CGNP_META_ICS_GNN_H_
+
+#include "meta/query_gnn.h"
+
+namespace cgnp {
+
+class IcsGnnCs : public CsMethod {
+ public:
+  explicit IcsGnnCs(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "ICS-GNN"; }
+  void MetaTrain(const std::vector<CsTask>& train_tasks) override;
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  MethodConfig cfg_;
+};
+
+// Greedy best-first growth of a connected subgraph of `size` nodes around q
+// maximising the score sum (exposed for tests).
+std::vector<NodeId> GrowCommunityByScore(const Graph& g, NodeId q,
+                                         const std::vector<float>& scores,
+                                         int64_t size);
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_ICS_GNN_H_

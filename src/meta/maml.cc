@@ -1,0 +1,108 @@
+#include "meta/maml.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+namespace {
+
+// Computes the mean BCE loss over `examples`, runs backward, and leaves the
+// gradients on the model parameters (caller decides what to do with them).
+float BackwardLoss(QueryGnn* model, const Graph& g,
+                   const std::vector<QueryExample>& examples, Rng* rng) {
+  model->ZeroGrad();
+  Tensor loss_sum;
+  std::vector<float> targets, mask;
+  for (const auto& ex : examples) {
+    Tensor logits = model->Forward(g, ex.query, rng);
+    ExampleTargets(ex, g.num_nodes(), &targets, &mask);
+    Tensor loss = BceWithLogits(logits, targets, mask);
+    loss_sum = loss_sum.Defined() ? Add(loss_sum, loss) : loss;
+  }
+  loss_sum = MulScalar(loss_sum, 1.0f / static_cast<float>(examples.size()));
+  const float value = loss_sum.Item();
+  loss_sum.Backward();
+  return value;
+}
+
+// Gradient snapshot of every model parameter, flattened.
+std::vector<float> FlatGrads(const QueryGnn& model) {
+  std::vector<float> out;
+  for (const auto& p : model.Parameters()) {
+    const auto& g = p.grad();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+void MamlCs::MetaTrain(const std::vector<CsTask>& train_tasks) {
+  CGNP_CHECK(!train_tasks.empty());
+  Rng rng(cfg_.seed);
+  model_ = std::make_unique<QueryGnn>(
+      cfg_, train_tasks.front().graph.feature_dim(), &rng);
+  // Outer optimiser applies accumulated FOMAML gradients with Adam.
+  Adam outer(model_->Parameters(), cfg_.outer_lr);
+  Sgd inner(model_->Parameters(), cfg_.inner_lr);
+  model_->SetTraining(true);
+
+  std::vector<int64_t> order(train_tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < cfg_.meta_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int64_t idx : order) {
+      const CsTask& task = train_tasks[idx];
+      if (task.support.empty() || task.query.empty()) continue;
+      const std::vector<float> theta = model_->FlatParameters();
+      // Inner loop: adapt task-specific parameters on the support set.
+      for (int64_t step = 0; step < cfg_.inner_steps_train; ++step) {
+        BackwardLoss(model_.get(), task.graph, task.support, &rng);
+        inner.Step();
+        model_->ZeroGrad();
+      }
+      // Outer gradient: query-set loss at the adapted parameters.
+      BackwardLoss(model_.get(), task.graph, task.query, &rng);
+      const std::vector<float> outer_grad = FlatGrads(*model_);
+      // Restore meta parameters and apply the outer step.
+      model_->SetFlatParameters(theta);
+      model_->ZeroGrad();
+      int64_t offset = 0;
+      for (auto& p : model_->Parameters()) {
+        auto& g = p.mutable_grad();
+        for (int64_t i = 0; i < p.numel(); ++i) g[i] = outer_grad[offset + i];
+        offset += p.numel();
+      }
+      outer.Step();
+    }
+  }
+  model_->SetTraining(false);
+  meta_params_ = model_->FlatParameters();
+}
+
+std::vector<std::vector<float>> MamlCs::PredictTask(const CsTask& task) {
+  CGNP_CHECK(model_ != nullptr) << " MAML requires MetaTrain first";
+  Rng rng(cfg_.seed);
+  model_->SetFlatParameters(meta_params_);
+  Sgd inner(model_->Parameters(), cfg_.inner_lr);
+  model_->SetTraining(true);
+  for (int64_t step = 0; step < cfg_.inner_steps_test; ++step) {
+    BackwardLoss(model_.get(), task.graph, task.support, &rng);
+    inner.Step();
+    model_->ZeroGrad();
+  }
+  model_->SetTraining(false);
+  NoGradGuard no_grad;
+  std::vector<std::vector<float>> out;
+  for (const auto& ex : task.query) {
+    out.push_back(
+        SigmoidValues(model_->Forward(task.graph, ex.query, nullptr)));
+  }
+  model_->SetFlatParameters(meta_params_);
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,29 @@
+#include "meta/method.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+EvalStats EvaluateMethod(CsMethod* method, const std::vector<CsTask>& tasks) {
+  StatsAccumulator acc;
+  for (const auto& task : tasks) {
+    const auto predictions = method->PredictTask(task);
+    CGNP_CHECK_EQ(predictions.size(), task.query.size());
+    for (size_t i = 0; i < task.query.size(); ++i) {
+      acc.Add(EvaluateScores(predictions[i], task.query[i].truth,
+                             task.query[i].query));
+    }
+  }
+  return acc.MeanStats();
+}
+
+std::string FormatStatsRow(const std::string& method, const EvalStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-14s Acc %.4f  Pre %.4f  Rec %.4f  F1 %.4f",
+                method.c_str(), s.accuracy, s.precision, s.recall, s.f1);
+  return buf;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,91 @@
+#include "meta/query_gnn.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+Tensor QueryIndicatorColumn(const Graph& g, NodeId q) {
+  Tensor col = Tensor::Zeros({g.num_nodes(), 1});
+  col.data()[q] = 1.0f;
+  return col;
+}
+
+Tensor LabelIndicatorColumn(const Graph& g, const QueryExample& ex) {
+  Tensor col = Tensor::Zeros({g.num_nodes(), 1});
+  col.data()[ex.query] = 1.0f;
+  for (NodeId v : ex.pos) col.data()[v] = 1.0f;
+  return col;
+}
+
+void ExampleTargets(const QueryExample& ex, int64_t n,
+                    std::vector<float>* targets, std::vector<float>* mask) {
+  targets->assign(n, 0.0f);
+  mask->assign(n, 0.0f);
+  for (NodeId v : ex.pos) {
+    (*targets)[v] = 1.0f;
+    (*mask)[v] = 1.0f;
+  }
+  for (NodeId v : ex.neg) {
+    (*mask)[v] = 1.0f;
+  }
+}
+
+QueryGnn::QueryGnn(const MethodConfig& cfg, int64_t feature_dim, Rng* rng)
+    : stack_(cfg.gnn,
+             [&] {
+               std::vector<int64_t> dims;
+               dims.push_back(feature_dim + 1);  // +1 query-indicator column
+               for (int64_t i = 0; i + 1 < cfg.num_layers; ++i) {
+                 dims.push_back(cfg.hidden_dim);
+               }
+               dims.push_back(1);
+               return dims;
+             }(),
+             rng, cfg.dropout) {
+  RegisterChild(&stack_);
+}
+
+Tensor QueryGnn::Forward(const Graph& g, NodeId q, Rng* rng) const {
+  CGNP_CHECK_EQ(g.feature_dim() + 1, stack_.in_dim())
+      << " graph features incompatible with model";
+  Tensor x = ConcatCols(QueryIndicatorColumn(g, q), g.FeatureTensor());
+  return stack_.Forward(g, x, rng);
+}
+
+std::vector<Tensor> QueryGnn::FinalLayerParameters() const {
+  // The stack registers one conv child per layer in order; its Parameters()
+  // are grouped per layer, so the tail group belongs to the last conv. We
+  // recover it by construction: build the full list and keep tensors not in
+  // the list of the stack minus the last layer. Simpler: rebuild from
+  // counts -- every layer of a given kind has a fixed parameter count.
+  const auto all = stack_.Parameters();
+  int64_t per_layer = static_cast<int64_t>(all.size()) / stack_.num_layers();
+  CGNP_CHECK_GT(per_layer, 0);
+  std::vector<Tensor> out(all.end() - per_layer, all.end());
+  return out;
+}
+
+float QueryGnnEpoch(QueryGnn* model, const Graph& g,
+                    const std::vector<QueryExample>& examples, Rng* rng,
+                    Optimizer* opt) {
+  CGNP_CHECK(!examples.empty());
+  opt->ZeroGrad();
+  float total = 0.0f;
+  Tensor loss_sum;
+  std::vector<float> targets, mask;
+  for (const auto& ex : examples) {
+    Tensor logits = model->Forward(g, ex.query, rng);
+    ExampleTargets(ex, g.num_nodes(), &targets, &mask);
+    Tensor loss = BceWithLogits(logits, targets, mask);
+    loss_sum = loss_sum.Defined() ? Add(loss_sum, loss) : loss;
+  }
+  loss_sum = MulScalar(loss_sum, 1.0f / static_cast<float>(examples.size()));
+  total = loss_sum.Item();
+  loss_sum.Backward();
+  opt->Step();
+  return total;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,52 @@
+// The Section IV base model: a K-layer GNN over [I(v) || A(v)] node inputs
+// producing one membership logit per node, trained with the BCE loss of
+// Eq. (3). This model underlies Supervised, FeatTrans, MAML, Reptile,
+// ICS-GNN and (as the structural trunk) AQD-GNN.
+#ifndef CGNP_META_QUERY_GNN_H_
+#define CGNP_META_QUERY_GNN_H_
+
+#include <vector>
+
+#include "data/tasks.h"
+#include "meta/method.h"
+#include "nn/gnn_stack.h"
+
+namespace cgnp {
+
+// {n,1} column with 1 at the query node only (Iq of Section IV).
+Tensor QueryIndicatorColumn(const Graph& g, NodeId q);
+
+// {n,1} column with 1 at the query node and its known positive samples
+// (Il of Eq. (13), close-world assumption).
+Tensor LabelIndicatorColumn(const Graph& g, const QueryExample& ex);
+
+// Per-node BCE targets/mask from an example's pos / neg sample lists.
+void ExampleTargets(const QueryExample& ex, int64_t n,
+                    std::vector<float>* targets, std::vector<float>* mask);
+
+class QueryGnn : public Module {
+ public:
+  QueryGnn(const MethodConfig& cfg, int64_t feature_dim, Rng* rng);
+
+  // Membership logits {n,1} for query q over graph g (g.feature_dim() must
+  // equal the construction-time feature_dim).
+  Tensor Forward(const Graph& g, NodeId q, Rng* rng) const;
+
+  // Parameters of the final GNN layer only (FeatTrans fine-tuning).
+  std::vector<Tensor> FinalLayerParameters() const;
+
+  const GnnStack& stack() const { return stack_; }
+
+ private:
+  GnnStack stack_;
+};
+
+// One BCE training step (all support examples of `task` as a batch) on any
+// callable producing logits; shared by the per-task trainers.
+float QueryGnnEpoch(QueryGnn* model, const Graph& g,
+                    const std::vector<QueryExample>& examples, Rng* rng,
+                    class Optimizer* opt);
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_QUERY_GNN_H_

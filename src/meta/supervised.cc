@@ -1,0 +1,31 @@
+#include "meta/supervised.h"
+
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace cgnp {
+
+void SupervisedCs::MetaTrain(const std::vector<CsTask>& train_tasks) {
+  // Trains from scratch per task; there is no meta stage.
+  (void)train_tasks;
+}
+
+std::vector<std::vector<float>> SupervisedCs::PredictTask(const CsTask& task) {
+  Rng rng(cfg_.seed);
+  QueryGnn model(cfg_, task.graph.feature_dim(), &rng);
+  Adam opt(model.Parameters(), cfg_.lr);
+  model.SetTraining(true);
+  for (int64_t epoch = 0; epoch < cfg_.per_task_epochs; ++epoch) {
+    QueryGnnEpoch(&model, task.graph, task.support, &rng, &opt);
+  }
+  model.SetTraining(false);
+  NoGradGuard no_grad;
+  std::vector<std::vector<float>> out;
+  out.reserve(task.query.size());
+  for (const auto& ex : task.query) {
+    out.push_back(SigmoidValues(model.Forward(task.graph, ex.query, nullptr)));
+  }
+  return out;
+}
+
+}  // namespace cgnp

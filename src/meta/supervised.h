@@ -1,0 +1,24 @@
+// Supervised baseline: one GNN trained from scratch per test task on the
+// few-shot support set (Section VII-A, baseline #8).
+#ifndef CGNP_META_SUPERVISED_H_
+#define CGNP_META_SUPERVISED_H_
+
+#include "meta/query_gnn.h"
+
+namespace cgnp {
+
+class SupervisedCs : public CsMethod {
+ public:
+  explicit SupervisedCs(const MethodConfig& cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Supervised"; }
+  void MetaTrain(const std::vector<CsTask>& train_tasks) override;
+  std::vector<std::vector<float>> PredictTask(const CsTask& task) override;
+
+ private:
+  MethodConfig cfg_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_META_SUPERVISED_H_

@@ -1,0 +1,28 @@
+#include "nn/gat_conv.h"
+
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+GatConv::GatConv(int64_t in_dim, int64_t out_dim, Rng* rng,
+                 float negative_slope)
+    : negative_slope_(negative_slope) {
+  weight_ = RegisterParameter(GlorotWeight(in_dim, out_dim, rng));
+  attn_src_ = RegisterParameter(GlorotWeight(out_dim, 1, rng));
+  attn_dst_ = RegisterParameter(GlorotWeight(out_dim, 1, rng));
+  bias_ = RegisterParameter(Tensor::Zeros({1, out_dim}, /*requires_grad=*/true));
+}
+
+Tensor GatConv::Forward(const Graph& g, const Tensor& x) const {
+  const Graph::EdgeIndex& ei = g.AttentionEdges();
+  Tensor h = MatMul(x, weight_);                     // {n, out}
+  Tensor s_src = MatMul(h, attn_src_);               // {n, 1}
+  Tensor s_dst = MatMul(h, attn_dst_);               // {n, 1}
+  // Per-edge raw attention scores, grouped by destination segment.
+  Tensor e = Add(IndexSelectRows(s_dst, ei.dst), IndexSelectRows(s_src, ei.src));
+  Tensor alpha = SegmentSoftmax(LeakyRelu(e, negative_slope_), ei.seg_ptr);
+  Tensor messages = Mul(IndexSelectRows(h, ei.src), alpha);  // {m, out}*{m, 1}
+  return Add(SegmentSumRows(messages, ei.seg_ptr), bias_);
+}
+
+}  // namespace cgnp

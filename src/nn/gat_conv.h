@@ -1,0 +1,30 @@
+// Graph Attention Network layer (Velickovic et al. 2018), single head:
+//   e_uv    = LeakyReLU(a_src . (W h_u) + a_dst . (W h_v))
+//   alpha_uv = softmax over in-edges of v
+//   h'_v    = sum_u alpha_uv (W h_u) + b       (self loop included)
+#ifndef CGNP_NN_GAT_CONV_H_
+#define CGNP_NN_GAT_CONV_H_
+
+#include "graph/graph.h"
+#include "nn/module.h"
+
+namespace cgnp {
+
+class GatConv : public Module {
+ public:
+  GatConv(int64_t in_dim, int64_t out_dim, Rng* rng,
+          float negative_slope = 0.2f);
+
+  Tensor Forward(const Graph& g, const Tensor& x) const;
+
+ private:
+  Tensor weight_;  // {in, out}
+  Tensor attn_src_;  // {out, 1}
+  Tensor attn_dst_;  // {out, 1}
+  Tensor bias_;      // {1, out}
+  float negative_slope_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_GAT_CONV_H_

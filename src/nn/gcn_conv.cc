@@ -1,0 +1,16 @@
+#include "nn/gcn_conv.h"
+
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+GcnConv::GcnConv(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : linear_(in_dim, out_dim, rng) {
+  RegisterChild(&linear_);
+}
+
+Tensor GcnConv::Forward(const Graph& g, const Tensor& x) const {
+  return linear_.Forward(SpMM(g.GcnAdjacency(), x));
+}
+
+}  // namespace cgnp

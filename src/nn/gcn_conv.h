@@ -1,0 +1,25 @@
+// Graph Convolutional Network layer (Kipf & Welling 2017):
+//   H' = D^{-1/2} (A + I) D^{-1/2} H W + b
+#ifndef CGNP_NN_GCN_CONV_H_
+#define CGNP_NN_GCN_CONV_H_
+
+#include "graph/graph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace cgnp {
+
+class GcnConv : public Module {
+ public:
+  GcnConv(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  // x: {n, in_dim} node features of g -> {n, out_dim}
+  Tensor Forward(const Graph& g, const Tensor& x) const;
+
+ private:
+  Linear linear_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_GCN_CONV_H_

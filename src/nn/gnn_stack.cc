@@ -1,0 +1,71 @@
+#include "nn/gnn_stack.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+const char* GnnKindName(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kGcn:
+      return "GCN";
+    case GnnKind::kGat:
+      return "GAT";
+    case GnnKind::kSage:
+      return "SAGE";
+  }
+  return "?";
+}
+
+GnnStack::GnnStack(GnnKind kind, const std::vector<int64_t>& dims, Rng* rng,
+                   float dropout)
+    : kind_(kind), dims_(dims), dropout_(dropout) {
+  CGNP_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    switch (kind_) {
+      case GnnKind::kGcn:
+        gcn_.push_back(std::make_unique<GcnConv>(dims[i], dims[i + 1], rng));
+        RegisterChild(gcn_.back().get());
+        break;
+      case GnnKind::kGat:
+        gat_.push_back(std::make_unique<GatConv>(dims[i], dims[i + 1], rng));
+        RegisterChild(gat_.back().get());
+        break;
+      case GnnKind::kSage:
+        sage_.push_back(std::make_unique<SageConv>(dims[i], dims[i + 1], rng));
+        RegisterChild(sage_.back().get());
+        break;
+    }
+  }
+}
+
+Tensor GnnStack::ApplyLayer(size_t i, const Graph& g, const Tensor& x) const {
+  switch (kind_) {
+    case GnnKind::kGcn:
+      return gcn_[i]->Forward(g, x);
+    case GnnKind::kGat:
+      return gat_[i]->Forward(g, x);
+    case GnnKind::kSage:
+      return sage_[i]->Forward(g, x);
+  }
+  CGNP_CHECK(false);
+  return x;
+}
+
+Tensor GnnStack::Forward(const Graph& g, const Tensor& x, Rng* rng) const {
+  const size_t layers = dims_.size() - 1;
+  Tensor h = x;
+  for (size_t i = 0; i < layers; ++i) {
+    h = ApplyLayer(i, g, h);
+    if (i + 1 < layers) {
+      h = Relu(h);
+      if (training() && dropout_ > 0.0f) {
+        CGNP_CHECK(rng != nullptr) << " training-mode dropout needs an Rng";
+        h = Dropout(h, dropout_, /*training=*/true, rng);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,51 @@
+// A stack of K GNN layers with configurable layer type (GCN / GAT / SAGE),
+// ReLU nonlinearities and dropout between layers. This is the shared trunk
+// of every learned model in the library: the Section IV query-GNN, the CGNP
+// encoder, and the CGNP GNN decoder.
+#ifndef CGNP_NN_GNN_STACK_H_
+#define CGNP_NN_GNN_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/module.h"
+#include "nn/sage_conv.h"
+
+namespace cgnp {
+
+enum class GnnKind { kGcn, kGat, kSage };
+
+const char* GnnKindName(GnnKind kind);
+
+class GnnStack : public Module {
+ public:
+  // dims = {in, hidden..., out}; one conv per consecutive pair.
+  GnnStack(GnnKind kind, const std::vector<int64_t>& dims, Rng* rng,
+           float dropout = 0.2f);
+
+  // Applies the stack on graph g. Dropout is active only in training mode;
+  // the Rng is required then (pass the model's generator).
+  Tensor Forward(const Graph& g, const Tensor& x, Rng* rng) const;
+
+  GnnKind kind() const { return kind_; }
+  int64_t num_layers() const { return static_cast<int64_t>(dims_.size()) - 1; }
+  int64_t in_dim() const { return dims_.front(); }
+  int64_t out_dim() const { return dims_.back(); }
+
+ private:
+  Tensor ApplyLayer(size_t i, const Graph& g, const Tensor& x) const;
+
+  GnnKind kind_;
+  std::vector<int64_t> dims_;
+  float dropout_;
+  std::vector<std::unique_ptr<GcnConv>> gcn_;
+  std::vector<std::unique_ptr<GatConv>> gat_;
+  std::vector<std::unique_ptr<SageConv>> sage_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_GNN_STACK_H_

@@ -1,0 +1,19 @@
+#include "nn/linear.h"
+
+namespace cgnp {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias) {
+  weight_ = RegisterParameter(GlorotWeight(in_dim, out_dim, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        Tensor::Zeros({1, out_dim}, /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_);
+  if (bias_.Defined()) y = Add(y, bias_);
+  return y;
+}
+
+}  // namespace cgnp

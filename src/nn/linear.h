@@ -1,0 +1,29 @@
+// Affine layer: y = x W + b.
+#ifndef CGNP_NN_LINEAR_H_
+#define CGNP_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool bias = true);
+
+  // x: {n, in_dim} -> {n, out_dim}
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_dim() const { return weight_.rows(); }
+  int64_t out_dim() const { return weight_.cols(); }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;  // undefined when bias = false
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_LINEAR_H_

@@ -1,0 +1,25 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng) {
+  CGNP_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild(layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+}  // namespace cgnp

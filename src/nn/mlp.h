@@ -1,0 +1,26 @@
+// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear.
+#ifndef CGNP_NN_MLP_H_
+#define CGNP_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace cgnp {
+
+class Mlp : public Module {
+ public:
+  // dims = {in, hidden..., out}; at least two entries.
+  Mlp(const std::vector<int64_t>& dims, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_MLP_H_

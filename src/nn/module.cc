@@ -1,0 +1,129 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* c : children_) {
+    auto sub = c->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (Module* c : children_) c->SetTraining(training);
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+std::vector<float> Module::FlatParameters() const {
+  std::vector<float> flat;
+  flat.reserve(NumParameters());
+  for (const auto& p : Parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.numel());
+  }
+  return flat;
+}
+
+void Module::SetFlatParameters(const std::vector<float>& flat) {
+  CGNP_CHECK_EQ(static_cast<int64_t>(flat.size()), NumParameters());
+  int64_t offset = 0;
+  for (auto& p : Parameters()) {
+    std::copy(flat.begin() + offset, flat.begin() + offset + p.numel(),
+              p.data());
+    offset += p.numel();
+  }
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  SetFlatParameters(other.FlatParameters());
+}
+
+namespace {
+// Checkpoint format: magic, version, tensor count, then per tensor the
+// rank, dims and raw float data. Little-endian (matching the host).
+constexpr uint32_t kCheckpointMagic = 0x43474E50;  // "CGNP"
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+void Module::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  CGNP_CHECK(out.good()) << " cannot write checkpoint: " << path;
+  auto put_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_i64 = [&out](int64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto params = Parameters();
+  put_u32(kCheckpointMagic);
+  put_u32(kCheckpointVersion);
+  put_u32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    put_u32(static_cast<uint32_t>(p.shape().size()));
+    for (int64_t d : p.shape()) put_i64(d);
+    out.write(reinterpret_cast<const char*>(p.data()),
+              p.numel() * sizeof(float));
+  }
+  CGNP_CHECK(out.good()) << " short write to checkpoint: " << path;
+}
+
+void Module::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGNP_CHECK(in.good()) << " cannot read checkpoint: " << path;
+  auto get_u32 = [&in] {
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto get_i64 = [&in] {
+    int64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  CGNP_CHECK_EQ(get_u32(), kCheckpointMagic) << " not a cgnp checkpoint";
+  CGNP_CHECK_EQ(get_u32(), kCheckpointVersion) << " checkpoint version";
+  auto params = Parameters();
+  CGNP_CHECK_EQ(get_u32(), static_cast<uint32_t>(params.size()))
+      << " checkpoint structure mismatch";
+  for (auto& p : params) {
+    const uint32_t rank = get_u32();
+    CGNP_CHECK_EQ(rank, static_cast<uint32_t>(p.shape().size()));
+    for (int64_t d : p.shape()) CGNP_CHECK_EQ(get_i64(), d);
+    in.read(reinterpret_cast<char*>(p.data()), p.numel() * sizeof(float));
+  }
+  CGNP_CHECK(in.good()) << " truncated checkpoint: " << path;
+}
+
+Tensor Module::RegisterParameter(Tensor t) {
+  CGNP_CHECK(t.requires_grad()) << " parameters must require grad";
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterChild(Module* child) { children_.push_back(child); }
+
+Tensor GlorotWeight(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform({fan_in, fan_out}, rng, -limit, limit,
+                         /*requires_grad=*/true);
+}
+
+}  // namespace cgnp

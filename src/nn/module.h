@@ -1,0 +1,74 @@
+// Minimal module system: parameter registration, train/eval mode, and flat
+// parameter (de)serialisation.
+//
+// Flat parameter vectors are the transport format used by the meta-learning
+// algorithms: MAML/Reptile snapshot and restore parameters across inner
+// loops, and FeatTrans copies a pre-trained trunk into per-task clones.
+#ifndef CGNP_NN_MODULE_H_
+#define CGNP_NN_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cgnp {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its registered children, in a stable
+  // registration order.
+  std::vector<Tensor> Parameters() const;
+
+  // Clears every parameter gradient.
+  void ZeroGrad();
+
+  // Training mode toggles dropout; propagated to children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  // Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  // Concatenation of all parameter values (snapshot).
+  std::vector<float> FlatParameters() const;
+  // Restores a snapshot taken with FlatParameters (sizes must match).
+  void SetFlatParameters(const std::vector<float>& flat);
+
+  // Copies parameter values from another module with identical structure.
+  void CopyParametersFrom(const Module& other);
+
+  // Binary checkpointing: writes/reads all parameters (with a per-tensor
+  // shape header) so trained models survive process restarts. Aborts on IO
+  // errors or structure mismatch. The format is a versioned little-endian
+  // dump; see module.cc.
+  void SaveToFile(const std::string& path) const;
+  void LoadFromFile(const std::string& path);
+
+ protected:
+  Module() = default;
+
+  // Registers a leaf parameter tensor; returns it for member storage.
+  Tensor RegisterParameter(Tensor t);
+  // Registers a child whose parameters are aggregated. The child must
+  // outlive this module (normally a by-value member).
+  void RegisterChild(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+// Glorot/Xavier-uniform initialised weight of shape {fan_in, fan_out}.
+Tensor GlorotWeight(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_MODULE_H_

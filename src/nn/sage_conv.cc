@@ -1,0 +1,20 @@
+#include "nn/sage_conv.h"
+
+#include "tensor/ops.h"
+
+namespace cgnp {
+
+SageConv::SageConv(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : self_linear_(in_dim, out_dim, rng, /*bias=*/true),
+      neigh_linear_(in_dim, out_dim, rng, /*bias=*/false) {
+  RegisterChild(&self_linear_);
+  RegisterChild(&neigh_linear_);
+}
+
+Tensor SageConv::Forward(const Graph& g, const Tensor& x) const {
+  Tensor self = self_linear_.Forward(x);
+  Tensor neigh = neigh_linear_.Forward(SpMM(g.MeanAdjacency(), x));
+  return Add(self, neigh);
+}
+
+}  // namespace cgnp

@@ -1,0 +1,25 @@
+// GraphSAGE layer with mean aggregation (Hamilton et al. 2017):
+//   H' = H W_self + mean_{u in N(v)} H_u W_neigh + b
+#ifndef CGNP_NN_SAGE_CONV_H_
+#define CGNP_NN_SAGE_CONV_H_
+
+#include "graph/graph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace cgnp {
+
+class SageConv : public Module {
+ public:
+  SageConv(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  Tensor Forward(const Graph& g, const Tensor& x) const;
+
+ private:
+  Linear self_linear_;
+  Linear neigh_linear_;  // bias lives in self_linear_ only
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_NN_SAGE_CONV_H_

@@ -1,0 +1,621 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+namespace {
+
+using internal::MakeOpOutput;
+
+// Broadcast pattern of b relative to a.
+enum class Bcast { kSame, kScalar, kRow, kCol };
+
+Bcast BroadcastOf(const Shape& a, const Shape& b) {
+  CGNP_CHECK_EQ(a.size(), 2u);
+  CGNP_CHECK_EQ(b.size(), 2u);
+  if (a == b) return Bcast::kSame;
+  if (b[0] == 1 && b[1] == 1) return Bcast::kScalar;
+  if (b[0] == 1 && b[1] == a[1]) return Bcast::kRow;
+  if (b[0] == a[0] && b[1] == 1) return Bcast::kCol;
+  CGNP_CHECK(false) << "incompatible broadcast shapes (" << a[0] << "," << a[1]
+                    << ") vs (" << b[0] << "," << b[1] << ")";
+  return Bcast::kSame;
+}
+
+inline int64_t BIndex(Bcast bc, int64_t i, int64_t j, int64_t cols) {
+  switch (bc) {
+    case Bcast::kSame:
+      return i * cols + j;
+    case Bcast::kScalar:
+      return 0;
+    case Bcast::kRow:
+      return j;
+    case Bcast::kCol:
+      return i;
+  }
+  return 0;
+}
+
+// Generic elementwise binary op with broadcast; fwd(a,b) computes the value,
+// dfa/dfb compute partials w.r.t. a and b given (a, b, grad_out).
+template <typename F, typename Da, typename Db>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
+  const Bcast bc = BroadcastOf(a.shape(), b.shape());
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = MakeOpOutput(
+      a.shape(), {a_impl, b_impl},
+      [a_impl, b_impl, bc, n, d, dfa, dfb](TensorImpl& self) {
+        const bool ga = a_impl->requires_grad;
+        const bool gb = b_impl->requires_grad;
+        if (ga) a_impl->EnsureGrad();
+        if (gb) b_impl->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < d; ++j) {
+            const int64_t ia = i * d + j;
+            const int64_t ib = BIndex(bc, i, j, d);
+            const float go = self.grad[ia];
+            const float av = a_impl->data[ia];
+            const float bv = b_impl->data[ib];
+            if (ga) a_impl->grad[ia] += dfa(av, bv) * go;
+            if (gb) b_impl->grad[ib] += dfb(av, bv) * go;
+          }
+        }
+      });
+  float* o = out.data();
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      o[i * d + j] = fwd(ap[i * d + j], bp[BIndex(bc, i, j, d)]);
+    }
+  }
+  return out;
+}
+
+// Generic unary op; dfa(x, y) is d out / d in given input x and output y.
+template <typename F, typename Da>
+Tensor UnaryOp(const Tensor& a, F fwd, Da dfa) {
+  auto a_impl = a.impl();
+  const int64_t n = a.numel();
+  Tensor out = MakeOpOutput(a.shape(), {a_impl},
+                            [a_impl, n, dfa](TensorImpl& self) {
+                              if (!a_impl->requires_grad) return;
+                              a_impl->EnsureGrad();
+                              for (int64_t i = 0; i < n; ++i) {
+                                a_impl->grad[i] +=
+                                    dfa(a_impl->data[i], self.data[i]) *
+                                    self.grad[i];
+                              }
+                            });
+  float* o = out.data();
+  const float* ap = a.data();
+  for (int64_t i = 0; i < n; ++i) o[i] = fwd(ap[i]);
+  return out;
+}
+
+// C[MxN] += op(A) * op(B); A stored (ta ? KxM : MxK), B stored (tb ? NxK : KxN).
+void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, const float* a,
+          const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ta ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      if (!tb) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // Stable in both tails.
+        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                      : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float x) { return x > 0 ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0 ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a,
+      [alpha](float x) { return x > 0 ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0 ? 1.0f : y + alpha; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; }, [](float x, float) { return 2 * x; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b) {
+  CGNP_CHECK_EQ(a.dim(), 2);
+  CGNP_CHECK_EQ(b.dim(), 2);
+  const int64_t m = transpose_a ? a.cols() : a.rows();
+  const int64_t k = transpose_a ? a.rows() : a.cols();
+  const int64_t kb = transpose_b ? b.cols() : b.rows();
+  const int64_t n = transpose_b ? b.rows() : b.cols();
+  CGNP_CHECK_EQ(k, kb) << " MatMul inner dimension mismatch";
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = MakeOpOutput(
+      {m, n}, {a_impl, b_impl},
+      [a_impl, b_impl, transpose_a, transpose_b, m, n, k](TensorImpl& self) {
+        const float* dc = self.grad.data();
+        if (a_impl->requires_grad) {
+          a_impl->EnsureGrad();
+          if (!transpose_a) {
+            // dA (MxK) = dC * op(B)^T
+            Gemm(false, !transpose_b, m, k, n, dc, b_impl->data.data(),
+                 a_impl->grad.data());
+          } else {
+            // A stored KxM: dA_s = op(B) * dC^T
+            Gemm(transpose_b, true, k, m, n, b_impl->data.data(), dc,
+                 a_impl->grad.data());
+          }
+        }
+        if (b_impl->requires_grad) {
+          b_impl->EnsureGrad();
+          if (!transpose_b) {
+            // dB (KxN) = op(A)^T * dC
+            Gemm(!transpose_a, false, k, n, m, a_impl->data.data(), dc,
+                 b_impl->grad.data());
+          } else {
+            // B stored NxK: dB_s = dC^T * op(A)
+            Gemm(true, transpose_a, n, k, m, dc, a_impl->data.data(),
+                 b_impl->grad.data());
+          }
+        }
+      });
+  Gemm(transpose_a, transpose_b, m, n, k, a.data(), b.data(), out.data());
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  CGNP_CHECK_EQ(a.dim(), 2);
+  const int64_t n = a.rows(), d = a.cols();
+  auto a_impl = a.impl();
+  Tensor out = MakeOpOutput({d, n}, {a_impl}, [a_impl, n, d](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < d; ++j)
+        a_impl->grad[i * d + j] += self.grad[j * n + i];
+  });
+  float* o = out.data();
+  const float* p = a.data();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j) o[j * n + i] = p[i * d + j];
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  auto a_impl = a.impl();
+  const int64_t n = a.numel();
+  Tensor out = MakeOpOutput({1, 1}, {a_impl}, [a_impl, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    const float g = self.grad[0];
+    for (int64_t i = 0; i < n; ++i) a_impl->grad[i] += g;
+  });
+  const float* p = a.data();
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumDim(const Tensor& a, int dim) {
+  CGNP_CHECK_EQ(a.dim(), 2);
+  CGNP_CHECK(dim == 0 || dim == 1);
+  const int64_t n = a.rows(), d = a.cols();
+  auto a_impl = a.impl();
+  const Shape out_shape = dim == 0 ? Shape{1, d} : Shape{n, 1};
+  Tensor out =
+      MakeOpOutput(out_shape, {a_impl}, [a_impl, n, d, dim](TensorImpl& self) {
+        if (!a_impl->requires_grad) return;
+        a_impl->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < d; ++j)
+            a_impl->grad[i * d + j] += self.grad[dim == 0 ? j : i];
+      });
+  float* o = out.data();
+  const float* p = a.data();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j) o[dim == 0 ? j : i] += p[i * d + j];
+  return out;
+}
+
+Tensor MeanDim(const Tensor& a, int dim) {
+  const float denom = dim == 0 ? static_cast<float>(a.rows())
+                               : static_cast<float>(a.cols());
+  return MulScalar(SumDim(a, dim), 1.0f / denom);
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t s : shape) n *= s;
+  CGNP_CHECK_EQ(n, a.numel()) << " Reshape element count mismatch";
+  auto a_impl = a.impl();
+  Tensor out = MakeOpOutput(shape, {a_impl}, [a_impl, n](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) a_impl->grad[i] += self.grad[i];
+  });
+  std::copy(a.data(), a.data() + n, out.data());
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  CGNP_CHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows(), da = a.cols(), db = b.cols();
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = MakeOpOutput(
+      {n, da + db}, {a_impl, b_impl},
+      [a_impl, b_impl, n, da, db](TensorImpl& self) {
+        const int64_t d = da + db;
+        if (a_impl->requires_grad) {
+          a_impl->EnsureGrad();
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < da; ++j)
+              a_impl->grad[i * da + j] += self.grad[i * d + j];
+        }
+        if (b_impl->requires_grad) {
+          b_impl->EnsureGrad();
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < db; ++j)
+              b_impl->grad[i * db + j] += self.grad[i * d + da + j];
+        }
+      });
+  float* o = out.data();
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(ap + i * da, ap + (i + 1) * da, o + i * (da + db));
+    std::copy(bp + i * db, bp + (i + 1) * db, o + i * (da + db) + da);
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  CGNP_CHECK_EQ(a.cols(), b.cols());
+  const int64_t na = a.rows(), nb = b.rows(), d = a.cols();
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = MakeOpOutput(
+      {na + nb, d}, {a_impl, b_impl},
+      [a_impl, b_impl, na, nb, d](TensorImpl& self) {
+        if (a_impl->requires_grad) {
+          a_impl->EnsureGrad();
+          for (int64_t i = 0; i < na * d; ++i) a_impl->grad[i] += self.grad[i];
+        }
+        if (b_impl->requires_grad) {
+          b_impl->EnsureGrad();
+          for (int64_t i = 0; i < nb * d; ++i)
+            b_impl->grad[i] += self.grad[na * d + i];
+        }
+      });
+  std::copy(a.data(), a.data() + na * d, out.data());
+  std::copy(b.data(), b.data() + nb * d, out.data() + na * d);
+  return out;
+}
+
+Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  CGNP_CHECK_EQ(a.dim(), 2);
+  const int64_t n = a.rows(), d = a.cols();
+  const int64_t m = static_cast<int64_t>(indices.size());
+  for (int64_t idx : indices) {
+    CGNP_CHECK_GE(idx, 0);
+    CGNP_CHECK_LT(idx, n);
+  }
+  auto a_impl = a.impl();
+  Tensor out = MakeOpOutput({m, d}, {a_impl},
+                            [a_impl, indices, d, m](TensorImpl& self) {
+                              if (!a_impl->requires_grad) return;
+                              a_impl->EnsureGrad();
+                              for (int64_t i = 0; i < m; ++i) {
+                                const int64_t r = indices[i];
+                                for (int64_t j = 0; j < d; ++j)
+                                  a_impl->grad[r * d + j] +=
+                                      self.grad[i * d + j];
+                              }
+                            });
+  float* o = out.data();
+  const float* p = a.data();
+  for (int64_t i = 0; i < m; ++i)
+    std::copy(p + indices[i] * d, p + (indices[i] + 1) * d, o + i * d);
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  CGNP_CHECK_EQ(a.dim(), 2);
+  const int64_t n = a.rows(), d = a.cols();
+  auto a_impl = a.impl();
+  Tensor out = MakeOpOutput({n, d}, {a_impl}, [a_impl, n, d](TensorImpl& self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    // dx_j = y_j * (g_j - sum_k g_k y_k) per row.
+    for (int64_t i = 0; i < n; ++i) {
+      const float* y = self.data.data() + i * d;
+      const float* g = self.grad.data() + i * d;
+      float dot = 0;
+      for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
+      for (int64_t j = 0; j < d; ++j)
+        a_impl->grad[i * d + j] += y[j] * (g[j] - dot);
+    }
+  });
+  float* o = out.data();
+  const float* p = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float mx = p[i * d];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, p[i * d + j]);
+    float z = 0;
+    for (int64_t j = 0; j < d; ++j) {
+      o[i * d + j] = std::exp(p[i * d + j] - mx);
+      z += o[i * d + j];
+    }
+    for (int64_t j = 0; j < d; ++j) o[i * d + j] /= z;
+  }
+  return out;
+}
+
+Tensor SpMM(const SparseMatrix& a, const Tensor& x) {
+  CGNP_CHECK_EQ(x.dim(), 2);
+  CGNP_CHECK_EQ(a.cols(), x.rows());
+  const int64_t d = x.cols();
+  auto x_impl = x.impl();
+  // The sparse matrix is captured by reference semantics via a copy of the
+  // CSR arrays only when a transpose is needed; symmetric matrices reuse
+  // themselves. We copy `a` into the closure (cheap shared vectors would be
+  // nicer, but correctness first; matrices are per-graph and reused).
+  const SparseMatrix* a_ptr = &a;
+  // Backward needs A to outlive the tape. Callers keep graph-owned matrices
+  // alive for the duration of training; we additionally keep a copy of the
+  // transpose when needed.
+  std::shared_ptr<SparseMatrix> at;
+  if (GradModeEnabled() && x_impl->requires_grad && !a.is_symmetric()) {
+    at = std::make_shared<SparseMatrix>(a.Transposed());
+  }
+  Tensor out = MakeOpOutput(
+      {a.rows(), d}, {x_impl}, [x_impl, a_ptr, at, d](TensorImpl& self) {
+        if (!x_impl->requires_grad) return;
+        x_impl->EnsureGrad();
+        const SparseMatrix& back = at ? *at : *a_ptr;
+        // dx += A^T * dy, accumulated manually.
+        std::vector<float> tmp(back.rows() * d, 0.0f);
+        back.Multiply(self.grad.data(), d, tmp.data());
+        for (size_t i = 0; i < tmp.size(); ++i) x_impl->grad[i] += tmp[i];
+      });
+  a.Multiply(x.data(), d, out.data());
+  return out;
+}
+
+Tensor SegmentSoftmax(const Tensor& scores,
+                      const std::vector<int64_t>& seg_ptr) {
+  CGNP_CHECK_EQ(scores.cols(), 1);
+  const int64_t m = scores.rows();
+  CGNP_CHECK_EQ(seg_ptr.back(), m);
+  auto s_impl = scores.impl();
+  Tensor out = MakeOpOutput(
+      {m, 1}, {s_impl}, [s_impl, seg_ptr](TensorImpl& self) {
+        if (!s_impl->requires_grad) return;
+        s_impl->EnsureGrad();
+        const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
+        for (int64_t s = 0; s < segs; ++s) {
+          float dot = 0;
+          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+            dot += self.grad[e] * self.data[e];
+          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+            s_impl->grad[e] += self.data[e] * (self.grad[e] - dot);
+        }
+      });
+  float* o = out.data();
+  const float* p = scores.data();
+  const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
+  for (int64_t s = 0; s < segs; ++s) {
+    const int64_t lo = seg_ptr[s], hi = seg_ptr[s + 1];
+    if (lo == hi) continue;
+    float mx = p[lo];
+    for (int64_t e = lo + 1; e < hi; ++e) mx = std::max(mx, p[e]);
+    float z = 0;
+    for (int64_t e = lo; e < hi; ++e) {
+      o[e] = std::exp(p[e] - mx);
+      z += o[e];
+    }
+    for (int64_t e = lo; e < hi; ++e) o[e] /= z;
+  }
+  return out;
+}
+
+Tensor SegmentSumRows(const Tensor& x, const std::vector<int64_t>& seg_ptr) {
+  CGNP_CHECK_EQ(x.dim(), 2);
+  const int64_t m = x.rows(), d = x.cols();
+  CGNP_CHECK_EQ(seg_ptr.back(), m);
+  const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
+  auto x_impl = x.impl();
+  Tensor out = MakeOpOutput(
+      {segs, d}, {x_impl}, [x_impl, seg_ptr, d, segs](TensorImpl& self) {
+        if (!x_impl->requires_grad) return;
+        x_impl->EnsureGrad();
+        for (int64_t s = 0; s < segs; ++s)
+          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+            for (int64_t j = 0; j < d; ++j)
+              x_impl->grad[e * d + j] += self.grad[s * d + j];
+      });
+  float* o = out.data();
+  const float* p = x.data();
+  for (int64_t s = 0; s < segs; ++s)
+    for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+      for (int64_t j = 0; j < d; ++j) o[s * d + j] += p[e * d + j];
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  CGNP_CHECK_LT(p, 1.0f);
+  const int64_t n = a.numel();
+  // Materialise the mask up front so forward and backward agree.
+  auto mask = std::make_shared<std::vector<float>>(n);
+  const float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i)
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  auto a_impl = a.impl();
+  Tensor out = MakeOpOutput(a.shape(), {a_impl},
+                            [a_impl, mask, n](TensorImpl& self) {
+                              if (!a_impl->requires_grad) return;
+                              a_impl->EnsureGrad();
+                              for (int64_t i = 0; i < n; ++i)
+                                a_impl->grad[i] += self.grad[i] * (*mask)[i];
+                            });
+  float* o = out.data();
+  const float* ap = a.data();
+  for (int64_t i = 0; i < n; ++i) o[i] = ap[i] * (*mask)[i];
+  return out;
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
+                     const std::vector<float>& mask) {
+  const int64_t n = logits.numel();
+  CGNP_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  CGNP_CHECK_EQ(static_cast<int64_t>(mask.size()), n);
+  double count = 0;
+  for (float mv : mask) count += (mv != 0.0f) ? 1.0 : 0.0;
+  CGNP_CHECK_GT(count, 0) << " BceWithLogits: empty mask";
+  const float inv = static_cast<float>(1.0 / count);
+  auto l_impl = logits.impl();
+  auto tgt = std::make_shared<std::vector<float>>(targets);
+  auto msk = std::make_shared<std::vector<float>>(mask);
+  Tensor out = MakeOpOutput(
+      {1, 1}, {l_impl}, [l_impl, tgt, msk, n, inv](TensorImpl& self) {
+        if (!l_impl->requires_grad) return;
+        l_impl->EnsureGrad();
+        const float g = self.grad[0];
+        for (int64_t i = 0; i < n; ++i) {
+          if ((*msk)[i] == 0.0f) continue;
+          const float z = l_impl->data[i];
+          const float s = z >= 0 ? 1.0f / (1.0f + std::exp(-z))
+                                 : std::exp(z) / (1.0f + std::exp(z));
+          l_impl->grad[i] += g * inv * (s - (*tgt)[i]);
+        }
+      });
+  // loss_i = max(z,0) - z*y + log(1 + exp(-|z|))  (the standard stable form)
+  const float* z = logits.data();
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (mask[i] == 0.0f) continue;
+    const float zi = z[i];
+    acc += std::max(zi, 0.0f) - zi * targets[i] +
+           std::log1p(std::exp(-std::fabs(zi)));
+  }
+  out.data()[0] = static_cast<float>(acc * inv);
+  return out;
+}
+
+std::vector<float> SigmoidValues(const Tensor& logits) {
+  const int64_t n = logits.numel();
+  std::vector<float> out(n);
+  const float* z = logits.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = z[i] >= 0 ? 1.0f / (1.0f + std::exp(-z[i]))
+                       : std::exp(z[i]) / (1.0f + std::exp(z[i]));
+  }
+  return out;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,98 @@
+// Differentiable tensor operations.
+//
+// Every function returns a new Tensor; when gradient mode is enabled and any
+// input requires grad, the result carries a backward closure on the tape.
+// Shapes are 2-D row-major throughout (the library's models only need
+// matrices); scalars are represented as {1, 1}.
+//
+// Broadcasting for binary elementwise ops supports the four cases GNN code
+// needs: equal shapes, b = {1,1} (scalar), b = {1,d} (row vector over rows
+// of a), and b = {n,1} (column vector over columns of a).
+#ifndef CGNP_TENSOR_OPS_H_
+#define CGNP_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace cgnp {
+
+// --- Elementwise binary (broadcasting as documented above) -----------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// --- Scalar / unary ---------------------------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);   // inputs clamped to >= 1e-12 for stability
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+// --- Linear algebra ---------------------------------------------------------
+// C = op(a) * op(b); transpose flags apply to the logical operand.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+Tensor Transpose(const Tensor& a);
+
+// --- Reductions -------------------------------------------------------------
+Tensor Sum(const Tensor& a);                 // -> {1,1}
+Tensor Mean(const Tensor& a);                // -> {1,1}
+// dim = 0 collapses rows (-> {1,d}); dim = 1 collapses columns (-> {n,1}).
+Tensor SumDim(const Tensor& a, int dim);
+Tensor MeanDim(const Tensor& a, int dim);
+
+// --- Shape ------------------------------------------------------------------
+Tensor Reshape(const Tensor& a, const Shape& shape);
+Tensor ConcatCols(const Tensor& a, const Tensor& b);  // {n,da},{n,db}->{n,da+db}
+Tensor ConcatRows(const Tensor& a, const Tensor& b);  // {na,d},{nb,d}->{na+nb,d}
+// out[i] = a[indices[i]] (rows); differentiable via scatter-add.
+Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+// --- Softmax ----------------------------------------------------------------
+// Row-wise softmax over the last dimension.
+Tensor Softmax(const Tensor& a);
+
+// --- Graph message passing --------------------------------------------------
+// y = A * x for a fixed (non-differentiable) sparse matrix A; gradients flow
+// through x only: dx = A^T * dy (A itself when symmetric).
+Tensor SpMM(const SparseMatrix& a, const Tensor& x);
+
+// Per-segment softmax over edge scores. `scores` is {m,1}; `seg_ptr` is a
+// CSR-style offset array: edges [seg_ptr[i], seg_ptr[i+1]) form segment i
+// (for GAT these are the in-edges of node i). Empty segments are allowed.
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int64_t>& seg_ptr);
+
+// out[i] = sum of x rows in segment i. x is {m,d}; result is {num_segments,d}.
+Tensor SegmentSumRows(const Tensor& x, const std::vector<int64_t>& seg_ptr);
+
+// --- Regularisation ---------------------------------------------------------
+// Inverted dropout: at train time zeroes entries w.p. p and scales the rest
+// by 1/(1-p); identity at eval time.
+Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng);
+
+// --- Losses -----------------------------------------------------------------
+// Numerically stable binary cross-entropy on logits, averaged over entries
+// where mask != 0. `targets` and `mask` have logits.numel() entries; pass an
+// all-ones mask for a plain mean. Returns {1,1}.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
+                     const std::vector<float>& mask);
+
+// Sigmoid probabilities of a logit tensor, computed without the tape
+// (convenience for inference paths).
+std::vector<float> SigmoidValues(const Tensor& logits);
+
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_OPS_H_

@@ -1,0 +1,60 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    auto& g = p.mutable_grad();
+    float* w = p.data();
+    const int64_t n = p.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].numel(), 0.0f);
+    v_[i].assign(params_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    auto& g = p.mutable_grad();
+    float* w = p.data();
+    const int64_t n = p.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float gi = g[i] + weight_decay_ * w[i];
+      m_[k][i] = beta1_ * m_[k][i] + (1.0f - beta1_) * gi;
+      v_[k][i] = beta2_ * v_[k][i] + (1.0f - beta2_) * gi * gi;
+      const float mhat = m_[k][i] / bc1;
+      const float vhat = v_[k][i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace cgnp

@@ -1,0 +1,70 @@
+// First-order optimizers over a fixed parameter list.
+//
+// Parameters are Tensors with requires_grad=true whose gradients are
+// accumulated by Tensor::Backward(). Step() consumes the gradients;
+// ZeroGrad() clears them (call once per iteration, before Backward()).
+#ifndef CGNP_TENSOR_OPTIM_H_
+#define CGNP_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cgnp {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;  // first moments, one per parameter
+  std::vector<std::vector<float>> v_;  // second moments
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_OPTIM_H_

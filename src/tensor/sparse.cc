@@ -1,0 +1,55 @@
+#include "tensor/sparse.h"
+
+#include "common/check.h"
+
+namespace cgnp {
+
+SparseMatrix::SparseMatrix(int64_t rows, int64_t cols,
+                           std::vector<int64_t> row_ptr,
+                           std::vector<int64_t> col_idx,
+                           std::vector<float> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  CGNP_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
+  CGNP_CHECK_EQ(col_idx_.size(), values_.size());
+  CGNP_CHECK_EQ(row_ptr_.back(), static_cast<int64_t>(col_idx_.size()));
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  // Counting sort of entries by column.
+  std::vector<int64_t> t_row_ptr(cols_ + 1, 0);
+  for (int64_t c : col_idx_) ++t_row_ptr[c + 1];
+  for (int64_t i = 0; i < cols_; ++i) t_row_ptr[i + 1] += t_row_ptr[i];
+  std::vector<int64_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
+  std::vector<int64_t> t_col_idx(nnz());
+  std::vector<float> t_values(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const int64_t c = col_idx_[e];
+      const int64_t pos = cursor[c]++;
+      t_col_idx[pos] = r;
+      t_values[pos] = values_[e];
+    }
+  }
+  SparseMatrix t(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
+                 std::move(t_values));
+  t.set_is_symmetric(is_symmetric_);
+  return t;
+}
+
+void SparseMatrix::Multiply(const float* x, int64_t d, float* y) const {
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* out = y + r * d;
+    for (int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+    for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float w = values_[e];
+      const float* in = x + col_idx_[e] * d;
+      for (int64_t j = 0; j < d; ++j) out[j] += w * in[j];
+    }
+  }
+}
+
+}  // namespace cgnp

@@ -1,0 +1,52 @@
+// Read-only CSR sparse matrix used for GNN message passing (SpMM).
+//
+// A SparseMatrix is built once per graph (e.g., the symmetrically normalised
+// adjacency for GCN, or the row-mean adjacency for GraphSAGE) and reused
+// across every forward pass, so construction cost is off the training path.
+#ifndef CGNP_TENSOR_SPARSE_H_
+#define CGNP_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cgnp {
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  // CSR triple: row_ptr has rows+1 entries; col_idx/values have nnz entries.
+  SparseMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+               std::vector<int64_t> col_idx, std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  // True when the matrix equals its transpose structurally and numerically.
+  // SpMM backward uses A^T; for symmetric matrices (the common GNN case) we
+  // can reuse the matrix itself. Set by the builder; verified in debug tests.
+  bool is_symmetric() const { return is_symmetric_; }
+  void set_is_symmetric(bool s) { is_symmetric_ = s; }
+
+  // Returns the explicit transpose (CSC view materialised as CSR).
+  SparseMatrix Transposed() const;
+
+  // y = A * x where x is a dense row-major matrix (cols() x d) and y is
+  // (rows() x d). Plain float buffers; autograd wiring lives in ops.cc.
+  void Multiply(const float* x, int64_t d, float* y) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+  bool is_symmetric_ = false;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_SPARSE_H_

@@ -1,0 +1,222 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = prev_; }
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(impl->numel(), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  CGNP_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel())
+      << " in Tensor::FromVector";
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng->Normal() * stddev;
+  return t;
+}
+
+Tensor Tensor::Uniform(const Shape& shape, Rng* rng, float lo, float hi,
+                       bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng->Uniform(lo, hi);
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  CGNP_CHECK(Defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::numel() const {
+  CGNP_CHECK(Defined());
+  return impl_->numel();
+}
+
+int64_t Tensor::rows() const {
+  CGNP_CHECK_EQ(dim(), 2);
+  return shape()[0];
+}
+
+int64_t Tensor::cols() const {
+  CGNP_CHECK_EQ(dim(), 2);
+  return shape()[1];
+}
+
+bool Tensor::requires_grad() const {
+  CGNP_CHECK(Defined());
+  return impl_->requires_grad;
+}
+
+float* Tensor::data() {
+  CGNP_CHECK(Defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CGNP_CHECK(Defined());
+  return impl_->data.data();
+}
+
+const std::vector<float>& Tensor::grad() const {
+  CGNP_CHECK(Defined());
+  CGNP_CHECK(!impl_->grad.empty()) << " gradient not populated";
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::mutable_grad() {
+  CGNP_CHECK(Defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::At(int64_t i) const {
+  CGNP_CHECK_GE(i, 0);
+  CGNP_CHECK_LT(i, numel());
+  return impl_->data[i];
+}
+
+float Tensor::At(int64_t i, int64_t j) const {
+  CGNP_CHECK_EQ(dim(), 2);
+  CGNP_CHECK_GE(i, 0);
+  CGNP_CHECK_LT(i, shape()[0]);
+  CGNP_CHECK_GE(j, 0);
+  CGNP_CHECK_LT(j, shape()[1]);
+  return impl_->data[i * shape()[1] + j];
+}
+
+float Tensor::Item() const {
+  CGNP_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+void Tensor::Backward() {
+  CGNP_CHECK(Defined());
+  CGNP_CHECK_EQ(numel(), 1) << " Backward() requires a scalar output";
+  // Topological order by post-order DFS over parents.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      TensorImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  CGNP_CHECK(Defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  CGNP_CHECK(Defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  CGNP_CHECK(Defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::ToString() const {
+  if (!Defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < shape().size(); ++i) {
+    if (i) os << "x";
+    os << shape()[i];
+  }
+  os << "](";
+  const int64_t n = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << impl_->data[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << ")";
+  return os.str();
+}
+
+namespace internal {
+
+Tensor MakeOpOutput(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(impl->numel(), 0.0f);
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) any_grad = true;
+  }
+  if (GradModeEnabled() && any_grad) {
+    impl->requires_grad = true;
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+
+}  // namespace cgnp

@@ -1,0 +1,135 @@
+// Dense float32 tensor with reverse-mode automatic differentiation.
+//
+// Design: a Tensor is a shared handle to a TensorImpl node. Operations (see
+// ops.h) create new nodes whose `backward_fn` closures propagate gradients
+// to their parents; Tensor::Backward() runs a topological sweep over that
+// tape. The tape is owned by the output tensors, so it is reclaimed as soon
+// as the loss tensor goes out of scope -- per-task training loops need no
+// explicit graph reset.
+//
+// Gradients are only recorded while GradMode is enabled (default). Wrap
+// inference-only code in a NoGradGuard to skip tape construction entirely.
+#ifndef CGNP_TENSOR_TENSOR_H_
+#define CGNP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace cgnp {
+
+using Shape = std::vector<int64_t>;
+
+// Internal node of the autograd tape. Users interact with Tensor instead.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  bool requires_grad = false;
+  std::vector<float> grad;  // same size as data once allocated
+  // Parents in the computation graph plus the closure that routes this
+  // node's gradient into theirs.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  // Allocates (zero-filled) gradient storage on first use.
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+// Global (thread-local) switch controlling whether ops record the tape.
+bool GradModeEnabled();
+
+// RAII guard that disables gradient recording within a scope.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Value-semantics handle to a tensor node. Copying a Tensor aliases the
+// underlying storage (like torch::Tensor).
+class Tensor {
+ public:
+  // Null tensor; Defined() is false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // --- Factories -----------------------------------------------------------
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  // Gaussian(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  static Tensor Uniform(const Shape& shape, Rng* rng, float lo, float hi,
+                        bool requires_grad = false);
+
+  // --- Introspection -------------------------------------------------------
+  bool Defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim() const { return static_cast<int64_t>(shape().size()); }
+  int64_t numel() const;
+  // Convenience for the ubiquitous 2-D case.
+  int64_t rows() const;
+  int64_t cols() const;
+  bool requires_grad() const;
+
+  float* data();
+  const float* data() const;
+  // Gradient buffer (must have been allocated by a Backward pass).
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+
+  // Element access (bounds-checked).
+  float At(int64_t i) const;
+  float At(int64_t i, int64_t j) const;
+  // Value of a single-element tensor.
+  float Item() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  // --- Autograd ------------------------------------------------------------
+  // Runs reverse-mode accumulation from this tensor, which must be a single
+  // element (a scalar loss). Gradients accumulate into every reachable
+  // tensor with requires_grad.
+  void Backward();
+  // Clears this tensor's gradient buffer.
+  void ZeroGrad();
+  // Returns a new tensor sharing no tape history (data is copied).
+  Tensor Detach() const;
+  // Deep copy including requires_grad flag, detached from the tape.
+  Tensor Clone() const;
+
+  // Human-readable summary (shape + first few entries), for debugging.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+namespace internal {
+// Creates an op output node: allocates data, and if grad mode is on and any
+// parent requires grad, wires the tape. Shared by all ops.
+Tensor MakeOpOutput(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+}  // namespace internal
+
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_TENSOR_H_

@@ -1,0 +1,36 @@
+#include "common/check.h"
+
+#include "gtest/gtest.h"
+
+namespace cgnp {
+namespace {
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CGNP_CHECK(1 == 2) << " extra context"; },
+               "CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, BinaryComparisonPrintsOperands) {
+  const int a = 3, b = 7;
+  EXPECT_DEATH({ CGNP_CHECK_EQ(a, b); }, "3 vs 7");
+  EXPECT_DEATH({ CGNP_CHECK_GT(a, b); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  CGNP_CHECK(true);
+  CGNP_CHECK_EQ(2, 2);
+  CGNP_CHECK_NE(2, 3);
+  CGNP_CHECK_LT(1, 2);
+  CGNP_CHECK_LE(2, 2);
+  CGNP_CHECK_GT(3, 2);
+  CGNP_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, StreamContextIncluded) {
+  EXPECT_DEATH({ CGNP_CHECK(false) << "custom detail 42"; },
+               "custom detail 42");
+}
+
+}  // namespace
+}  // namespace cgnp

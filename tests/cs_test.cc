@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <set>
+
+#include "cs/acq.h"
+#include "cs/atc.h"
+#include "cs/ctc.h"
+#include "cs/kcore_community.h"
+#include "cs/ktruss_community.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+using testing::TwoCliqueGraph;
+
+bool Contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// Attributed variant of the two-clique fixture: clique {0..3} carries
+// attribute 1, clique {4..7} attribute 2; the bridge endpoints also share
+// attribute 3.
+Graph AttributedTwoClique() {
+  GraphBuilder b(8);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = i + 1; j < 4; ++j) {
+      b.AddEdge(i, j);
+      b.AddEdge(i + 4, j + 4);
+    }
+  }
+  b.AddEdge(3, 4);
+  b.SetAttributes({{1}, {1}, {1}, {1, 3}, {2, 3}, {2}, {2}, {2}});
+  b.SetCommunities({0, 0, 0, 0, 1, 1, 1, 1});
+  return b.Build();
+}
+
+TEST(KCoreCommunity, AutoSelectsMaxCore) {
+  Graph g = TwoCliqueGraph();
+  const auto c = KCoreCommunity(g, 0);  // core(0) = 3 -> whole graph
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_TRUE(Contains(c, 0));
+}
+
+TEST(KCoreCommunity, IsolatedQueryReturnsSelf) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  const auto c = KCoreCommunity(g, 0);
+  EXPECT_EQ(c, (std::vector<NodeId>{0}));
+}
+
+TEST(KTrussCommunity, SeparatesBridgedCliques) {
+  Graph g = TwoCliqueGraph();
+  const auto c = KTrussCommunity(g, 0);  // max truss at 0 is 4
+  EXPECT_EQ(c.size(), 4u);
+  for (NodeId v : c) EXPECT_LT(v, 4);
+}
+
+TEST(KTrussCommunity, QueryAlwaysIncluded) {
+  Rng rng(1);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_communities = 4;
+  Graph g = GenerateSyntheticGraph(cfg, &rng);
+  for (NodeId q : {NodeId{0}, NodeId{57}, NodeId{123}}) {
+    const auto c = KTrussCommunity(g, q);
+    EXPECT_TRUE(Contains(c, q)) << "query " << q;
+  }
+}
+
+TEST(Ctc, FindsTightCommunityAroundQuery) {
+  Graph g = TwoCliqueGraph();
+  const auto c = ClosestTrussCommunity(g, 0);
+  EXPECT_TRUE(Contains(c, 0));
+  // The 4-truss containing node 0 is its own clique.
+  EXPECT_EQ(c.size(), 4u);
+  for (NodeId v : c) EXPECT_LT(v, 4);
+}
+
+TEST(Ctc, ShrinksEccentricityOnLollipop) {
+  // Dense K5 head (0..4) with a triangle chain hanging off it; CTC from a
+  // head node should keep the head, not the tail.
+  GraphBuilder b(9);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) b.AddEdge(i, j);
+  }
+  // Triangle chain: (4,5,6), (6,7,8) share edges to keep 2-truss.
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  b.AddEdge(4, 6);
+  b.AddEdge(6, 7);
+  b.AddEdge(7, 8);
+  b.AddEdge(6, 8);
+  Graph g = b.Build();
+  const auto c = ClosestTrussCommunity(g, 0);
+  EXPECT_TRUE(Contains(c, 0));
+  EXPECT_FALSE(Contains(c, 8)) << "far tail node should be shed";
+}
+
+TEST(Acq, PicksAttributeSharedCommunity) {
+  Graph g = AttributedTwoClique();
+  AcqConfig cfg;
+  cfg.k = 2;
+  const auto c = AttributedCommunityQuery(g, 0, cfg);
+  ASSERT_FALSE(c.empty());
+  EXPECT_TRUE(Contains(c, 0));
+  // All members share attribute 1 -> only nodes 0..3 qualify.
+  for (NodeId v : c) EXPECT_LT(v, 4);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Acq, EmptyWithoutAttributes) {
+  Graph g = TwoCliqueGraph();
+  EXPECT_TRUE(AttributedCommunityQuery(g, 0).empty());
+}
+
+TEST(Acq, LargerAttributeSetPreferred) {
+  // Query node 3 has attributes {1, 3}; only attribute 1 supports a 2-core
+  // (attribute 3 nodes {3,4} form a single edge). The best single-attribute
+  // community is the clique.
+  Graph g = AttributedTwoClique();
+  AcqConfig cfg;
+  cfg.k = 2;
+  cfg.max_attr_set = 2;
+  const auto c = AttributedCommunityQuery(g, 3, cfg);
+  ASSERT_FALSE(c.empty());
+  EXPECT_TRUE(Contains(c, 3));
+  for (NodeId v : c) EXPECT_LT(v, 4);
+}
+
+TEST(Atc, AttributeScoreComputation) {
+  Graph g = AttributedTwoClique();
+  // Members {0,1,2,3}, query attrs {1}: all 4 carry attr 1 -> 16/4 = 4.
+  EXPECT_DOUBLE_EQ(AtcAttributeScore(g, {0, 1, 2, 3}, {1}), 4.0);
+  // Query attrs {1,3}: attr 1 -> 4; attr 3 only node 3 -> 1/4.
+  EXPECT_DOUBLE_EQ(AtcAttributeScore(g, {0, 1, 2, 3}, {1, 3}), 4.25);
+  EXPECT_DOUBLE_EQ(AtcAttributeScore(g, {}, {1}), 0.0);
+}
+
+TEST(Atc, KeepsQueryAndPrefersHomogeneousTruss) {
+  Graph g = AttributedTwoClique();
+  AtcConfig cfg;
+  cfg.d = 2;
+  const auto c = AttributedTrussCommunity(g, 0, cfg);
+  EXPECT_TRUE(Contains(c, 0));
+  for (NodeId v : c) EXPECT_LT(v, 4) << "ATC community crossed the bridge";
+}
+
+TEST(Atc, SingletonWhenNoTruss) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  const auto c = AttributedTrussCommunity(g, 0);
+  EXPECT_TRUE(Contains(c, 0));
+}
+
+// Property sweep: on planted graphs, precision of truss communities should
+// be high (they rarely cross community borders) even if recall is low --
+// the classical-baseline signature from the paper's tables.
+TEST(ClassicalProperty, TrussCommunityPrecisionOnPlantedGraph) {
+  Rng rng(9);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_communities = 6;
+  cfg.intra_degree = 12;
+  cfg.inter_degree = 1.0;
+  Graph g = GenerateSyntheticGraph(cfg, &rng);
+  double precision_sum = 0;
+  int64_t count = 0;
+  for (NodeId q = 0; q < g.num_nodes(); q += 29) {
+    const auto c = KTrussCommunity(g, q);
+    if (c.size() <= 1) continue;
+    int64_t same = 0;
+    for (NodeId v : c) {
+      if (g.CommunityOf(v) == g.CommunityOf(q)) ++same;
+    }
+    precision_sum += static_cast<double>(same) / static_cast<double>(c.size());
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(precision_sum / count, 0.6);
+}
+
+}  // namespace
+}  // namespace cgnp

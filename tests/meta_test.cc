@@ -1,0 +1,267 @@
+// Tests for the learned baselines: shape contracts, determinism, and
+// learning-signal smoke checks on small planted-community tasks.
+#include <memory>
+
+#include "data/synthetic.h"
+#include "data/tasks.h"
+#include "gtest/gtest.h"
+#include "meta/aqd_gnn.h"
+#include "meta/classical.h"
+#include "meta/feat_trans.h"
+#include "meta/gpn.h"
+#include "meta/ics_gnn.h"
+#include "meta/maml.h"
+#include "meta/query_gnn.h"
+#include "meta/reptile.h"
+#include "meta/supervised.h"
+#include "tensor/optim.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+// Small, strongly-separated dataset so a few epochs are enough signal.
+TaskSplit SmallSplit(int64_t shots = 2, uint64_t seed = 3) {
+  Rng rng(seed);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.num_communities = 6;
+  cfg.intra_degree = 12;
+  cfg.inter_degree = 1.5;
+  cfg.attribute_dim = 18;
+  cfg.attrs_per_node = 3;
+  cfg.attrs_per_community_pool = 5;
+  cfg.attr_affinity = 0.9;
+  Graph g = GenerateSyntheticGraph(cfg, &rng);
+  TaskConfig tc;
+  tc.subgraph_size = 80;
+  tc.shots = shots;
+  tc.query_set_size = 6;
+  return MakeSingleGraphTasks(g, TaskRegime::kSgsc, tc, 8, 2, 3, &rng);
+}
+
+MethodConfig FastConfig() {
+  MethodConfig cfg;
+  cfg.gnn = GnnKind::kGcn;  // fastest layer for smoke tests
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.meta_epochs = 4;
+  cfg.per_task_epochs = 20;
+  cfg.inner_steps_train = 3;
+  cfg.inner_steps_test = 5;
+  cfg.lr = 5e-3f;
+  cfg.inner_lr = 5e-3f;
+  cfg.outer_lr = 1e-2f;
+  return cfg;
+}
+
+void CheckPredictionContract(CsMethod* method, const CsTask& task) {
+  const auto preds = method->PredictTask(task);
+  ASSERT_EQ(preds.size(), task.query.size()) << method->name();
+  for (const auto& p : preds) {
+    ASSERT_EQ(static_cast<int64_t>(p.size()), task.graph.num_nodes());
+    for (float v : p) {
+      EXPECT_GE(v, 0.0f) << method->name();
+      EXPECT_LE(v, 1.0f) << method->name();
+    }
+  }
+}
+
+TEST(QueryGnn, IndicatorColumns) {
+  Graph g = testing::TwoCliqueGraph();
+  Tensor qi = QueryIndicatorColumn(g, 3);
+  EXPECT_EQ(qi.shape(), (Shape{8, 1}));
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(qi.At(v), v == 3 ? 1.0f : 0.0f);
+  QueryExample ex;
+  ex.query = 1;
+  ex.pos = {0, 2};
+  Tensor li = LabelIndicatorColumn(g, ex);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(li.At(v), (v == 0 || v == 1 || v == 2) ? 1.0f : 0.0f);
+  }
+}
+
+TEST(QueryGnn, ExampleTargetsMaskOnlyLabelled) {
+  QueryExample ex;
+  ex.query = 0;
+  ex.pos = {1, 2};
+  ex.neg = {4};
+  std::vector<float> targets, mask;
+  ExampleTargets(ex, 6, &targets, &mask);
+  EXPECT_EQ(targets, (std::vector<float>{0, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(mask, (std::vector<float>{0, 1, 1, 0, 1, 0}));
+}
+
+TEST(QueryGnn, TrainingReducesLoss) {
+  const TaskSplit split = SmallSplit();
+  const CsTask& task = split.train.front();
+  Rng rng(1);
+  MethodConfig cfg = FastConfig();
+  cfg.dropout = 0.0f;  // noise-free loss curve for a strict decrease check
+  QueryGnn model(cfg, task.graph.feature_dim(), &rng);
+  Adam opt(model.Parameters(), 2e-2f);
+  float first = 0, last = 0;
+  for (int e = 0; e < 60; ++e) {
+    const float loss = QueryGnnEpoch(&model, task.graph, task.support, &rng, &opt);
+    if (e == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+TEST(QueryGnn, FinalLayerParametersAreTail) {
+  Rng rng(2);
+  MethodConfig cfg = FastConfig();
+  QueryGnn model(cfg, 10, &rng);
+  const auto all = model.Parameters();
+  const auto last = model.FinalLayerParameters();
+  ASSERT_FALSE(last.empty());
+  ASSERT_LT(last.size(), all.size());
+  for (size_t i = 0; i < last.size(); ++i) {
+    EXPECT_EQ(last[i].impl(), all[all.size() - last.size() + i].impl());
+  }
+}
+
+TEST(Supervised, ContractAndDeterminism) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  SupervisedCs a(cfg), b(cfg);
+  a.MetaTrain(split.train);
+  b.MetaTrain(split.train);
+  CheckPredictionContract(&a, split.test.front());
+  EXPECT_EQ(a.PredictTask(split.test.front()),
+            b.PredictTask(split.test.front()));
+}
+
+TEST(FeatTrans, RequiresMetaTrainThenPredicts) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  FeatTransCs method(cfg);
+  method.MetaTrain(split.train);
+  CheckPredictionContract(&method, split.test.front());
+}
+
+TEST(FeatTrans, PredictDoesNotCorruptPretrainedWeights) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  FeatTransCs method(cfg);
+  method.MetaTrain(split.train);
+  const auto first = method.PredictTask(split.test.front());
+  const auto second = method.PredictTask(split.test.front());
+  EXPECT_EQ(first, second) << "fine-tuning leaked across PredictTask calls";
+}
+
+TEST(Maml, ContractAndAdaptationIsTemporary) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  cfg.meta_epochs = 2;
+  MamlCs method(cfg);
+  method.MetaTrain(split.train);
+  CheckPredictionContract(&method, split.test.front());
+  const auto first = method.PredictTask(split.test.front());
+  const auto second = method.PredictTask(split.test.front());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Reptile, ContractAndDeterminism) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  cfg.meta_epochs = 2;
+  ReptileCs method(cfg);
+  method.MetaTrain(split.train);
+  CheckPredictionContract(&method, split.test.front());
+  const auto first = method.PredictTask(split.test.front());
+  const auto second = method.PredictTask(split.test.front());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Gpn, UsesQueryGroundTruthForPrototypes) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  GpnCs method(cfg);
+  method.MetaTrain(split.train);
+  CheckPredictionContract(&method, split.test.front());
+}
+
+TEST(IcsGnn, CommunitySizeBoundsPrediction) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  cfg.per_task_epochs = 5;
+  cfg.ics_community_size = 12;
+  IcsGnnCs method(cfg);
+  method.MetaTrain(split.train);
+  const CsTask& task = split.test.front();
+  const auto preds = method.PredictTask(task);
+  ASSERT_EQ(preds.size(), task.query.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    int64_t positives = 0;
+    for (float v : preds[i]) positives += v >= 0.5f;
+    EXPECT_LE(positives, 12);
+    EXPECT_GE(positives, 1);
+    // The query itself is always in the community.
+    EXPECT_GE(preds[i][task.query[i].query], 1.0f);
+  }
+}
+
+TEST(IcsGnn, GrowCommunityRespectsConnectivity) {
+  Graph g = testing::TwoCliqueGraph();
+  std::vector<float> scores = {0.9f, 0.8f, 0.7f, 0.6f, 0.95f, 0.9f, 0.9f, 0.9f};
+  // From node 0, even though the other clique scores higher, growth must
+  // stay connected: first picks are within the first clique / bridge.
+  const auto members = GrowCommunityByScore(g, 0, scores, 4);
+  EXPECT_EQ(members.size(), 4u);
+  EXPECT_EQ(members.front(), 0);
+  // All members reachable from 0 within the member set (grown connectedly).
+  for (NodeId v : members) {
+    bool adjacent_to_member = v == 0;
+    for (NodeId u : members) {
+      if (u != v && g.HasEdge(u, v)) adjacent_to_member = true;
+    }
+    EXPECT_TRUE(adjacent_to_member);
+  }
+}
+
+TEST(AqdGnn, ContractOnTestTask) {
+  const TaskSplit split = SmallSplit();
+  MethodConfig cfg = FastConfig();
+  cfg.per_task_epochs = 10;
+  AqdGnnCs method(cfg);
+  method.MetaTrain(split.train);
+  CheckPredictionContract(&method, split.test.front());
+}
+
+TEST(Classical, AllAdaptersSatisfyContract) {
+  const TaskSplit split = SmallSplit();
+  AtcMethod atc;
+  AcqMethod acq;
+  CtcMethod ctc;
+  KCoreMethod kcore;
+  KTrussMethod ktruss;
+  EXPECT_TRUE(AcqMethod::Supports(split.test.front()));
+  for (CsMethod* m :
+       std::vector<CsMethod*>{&atc, &acq, &ctc, &kcore, &ktruss}) {
+    m->MetaTrain(split.train);
+    CheckPredictionContract(m, split.test.front());
+  }
+}
+
+TEST(EvaluateMethod, AveragesAcrossTasksAndQueries) {
+  const TaskSplit split = SmallSplit();
+  KTrussMethod method;
+  const EvalStats s = EvaluateMethod(&method, split.test);
+  EXPECT_GE(s.f1, 0.0);
+  EXPECT_LE(s.f1, 1.0);
+  EXPECT_GE(s.accuracy, 0.0);
+  EXPECT_LE(s.accuracy, 1.0);
+}
+
+TEST(FormatStatsRow, ContainsAllFourMetrics) {
+  const std::string row = FormatStatsRow("Test", {0.1, 0.2, 0.3, 0.4});
+  EXPECT_NE(row.find("0.1000"), std::string::npos);
+  EXPECT_NE(row.find("0.2000"), std::string::npos);
+  EXPECT_NE(row.find("0.3000"), std::string::npos);
+  EXPECT_NE(row.find("0.4000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgnp

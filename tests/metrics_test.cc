@@ -1,0 +1,86 @@
+#include "data/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace cgnp {
+namespace {
+
+TEST(EvaluateScores, PerfectPrediction) {
+  const std::vector<float> probs = {0.9f, 0.8f, 0.1f, 0.2f};
+  const std::vector<char> truth = {1, 1, 0, 0};
+  const EvalStats s = EvaluateScores(probs, truth, /*exclude=*/-1);
+  EXPECT_DOUBLE_EQ(s.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(EvaluateScores, KnownConfusionMatrix) {
+  // pred: 1 1 0 0 1 ; truth: 1 0 1 0 0 -> tp=1 fp=2 fn=1 tn=1.
+  const std::vector<float> probs = {0.9f, 0.7f, 0.3f, 0.1f, 0.6f};
+  const std::vector<char> truth = {1, 0, 1, 0, 0};
+  const EvalStats s = EvaluateScores(probs, truth, -1);
+  EXPECT_DOUBLE_EQ(s.accuracy, 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0 / 2.0);
+  EXPECT_NEAR(s.f1, 2 * (1.0 / 3) * (1.0 / 2) / (1.0 / 3 + 1.0 / 2), 1e-12);
+}
+
+TEST(EvaluateScores, ExcludesQueryNode) {
+  const std::vector<float> probs = {0.9f, 0.9f, 0.1f};
+  const std::vector<char> truth = {1, 0, 0};
+  // Excluding index 0 removes the only true positive.
+  const EvalStats s = EvaluateScores(probs, truth, 0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.5);
+}
+
+TEST(EvaluateScores, AllNegativePredictionHasHighAccuracyZeroRecall) {
+  // The imbalanced-label pathology the paper discusses: predicting all
+  // negative scores well on accuracy and zero on recall/F1.
+  std::vector<float> probs(100, 0.0f);
+  std::vector<char> truth(100, 0);
+  for (int i = 0; i < 10; ++i) truth[i] = 1;
+  const EvalStats s = EvaluateScores(probs, truth, -1);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.9);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(EvaluateScores, ThresholdApplied) {
+  const std::vector<float> probs = {0.4f, 0.6f};
+  const std::vector<char> truth = {1, 1};
+  EXPECT_DOUBLE_EQ(EvaluateScores(probs, truth, -1, 0.5f).recall, 0.5);
+  EXPECT_DOUBLE_EQ(EvaluateScores(probs, truth, -1, 0.3f).recall, 1.0);
+}
+
+TEST(EvaluateSet, MatchesScoreEvaluation) {
+  const std::vector<char> truth = {1, 1, 0, 0, 1};
+  const EvalStats s = EvaluateSet({0, 2}, truth, -1);
+  // pred: {0,2}; tp=1 fp=1 fn=2 tn=1.
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0 / 3.0);
+}
+
+TEST(StatsAccumulator, MeansOverQueries) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  acc.Add({1.0, 1.0, 1.0, 1.0});
+  acc.Add({0.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(acc.count(), 2);
+  const EvalStats mean = acc.MeanStats();
+  EXPECT_DOUBLE_EQ(mean.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(mean.f1, 0.5);
+}
+
+TEST(StatsAccumulator, EmptyMeanIsZero) {
+  StatsAccumulator acc;
+  const EvalStats mean = acc.MeanStats();
+  EXPECT_DOUBLE_EQ(mean.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(mean.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace cgnp

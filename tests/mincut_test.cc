@@ -1,0 +1,102 @@
+#include "graph/mincut.h"
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+TEST(GlobalMinCut, TrivialGraphs) {
+  EXPECT_EQ(GlobalMinCut(testing::PathGraph(1)).cut_weight, -1);
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  const auto r = GlobalMinCut(b.Build());
+  EXPECT_EQ(r.cut_weight, 1);
+  EXPECT_EQ(r.partition.size(), 1u);
+}
+
+TEST(GlobalMinCut, DisconnectedIsZero) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const auto r = GlobalMinCut(b.Build());
+  EXPECT_EQ(r.cut_weight, 0);
+  // The partition is one full component.
+  EXPECT_EQ(r.partition.size(), 2u);
+}
+
+TEST(GlobalMinCut, PathCutsOneEdge) {
+  const auto r = GlobalMinCut(testing::PathGraph(6));
+  EXPECT_EQ(r.cut_weight, 1);
+}
+
+TEST(GlobalMinCut, CompleteGraphCutsNMinusOne) {
+  const auto r = GlobalMinCut(testing::CompleteGraph(6));
+  EXPECT_EQ(r.cut_weight, 5);
+  EXPECT_EQ(r.partition.size(), 1u);  // singleton side is optimal in K_n
+}
+
+TEST(GlobalMinCut, BridgedCliquesCutTheBridge) {
+  const auto r = GlobalMinCut(testing::TwoCliqueGraph());
+  EXPECT_EQ(r.cut_weight, 1);
+  ASSERT_EQ(r.partition.size(), 4u);
+  // The partition must be exactly one clique.
+  const bool first_clique = r.partition[0] < 4;
+  for (NodeId v : r.partition) EXPECT_EQ(v < 4, first_clique);
+}
+
+TEST(GlobalMinCut, CycleNeedsTwoEdges) {
+  GraphBuilder b(5);
+  for (int i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  const auto r = GlobalMinCut(b.Build());
+  EXPECT_EQ(r.cut_weight, 2);
+}
+
+// Property: the reported cut weight equals the number of edges crossing the
+// reported partition (consistency of the two outputs).
+TEST(GlobalMinCut, PartitionMatchesWeightOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    SyntheticConfig cfg;
+    cfg.num_nodes = 40;
+    cfg.num_communities = 2;
+    cfg.intra_degree = 6;
+    cfg.inter_degree = 1;
+    Graph g = GenerateSyntheticGraph(cfg, &rng);
+    const auto r = GlobalMinCut(g);
+    ASSERT_GE(r.cut_weight, 0);
+    std::vector<char> side(g.num_nodes(), 0);
+    for (NodeId v : r.partition) side[v] = 1;
+    int64_t crossing = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId u : g.Neighbors(v)) {
+        if (u > v && side[u] != side[v]) ++crossing;
+      }
+    }
+    EXPECT_EQ(crossing, r.cut_weight) << "seed " << seed;
+    // Non-trivial partition.
+    EXPECT_GT(r.partition.size(), 0u);
+    EXPECT_LT(r.partition.size(), static_cast<size_t>(g.num_nodes()));
+  }
+}
+
+// Property: min cut <= min degree (a singleton is always a candidate cut).
+TEST(GlobalMinCut, BoundedByMinDegree) {
+  Rng rng(9);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_communities = 3;
+  Graph g = GenerateSyntheticGraph(cfg, &rng);
+  int64_t min_deg = INT64_MAX;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    min_deg = std::min(min_deg, g.Degree(v));
+  }
+  const auto r = GlobalMinCut(g);
+  EXPECT_LE(r.cut_weight, min_deg);
+}
+
+}  // namespace
+}  // namespace cgnp

@@ -1,0 +1,254 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+//   * autograd correctness over a grid of shapes,
+//   * synthetic-generator invariants over a grid of configurations,
+//   * task-sampler invariants over shots / sample-count combinations,
+//   * CGNP prediction contract over the full (encoder x big-plus x decoder)
+//     model grid.
+#include <tuple>
+
+#include "core/cgnp.h"
+#include "data/synthetic.h"
+#include "data/tasks.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+// ---------------------------------------------------------------- autograd
+
+class MatMulShapeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+TEST_P(MatMulShapeProperty, GradientMatchesFiniteDifference) {
+  const auto [m, k, n, ta, tb] = GetParam();
+  Rng rng(m * 100 + k * 10 + n + (ta ? 1000 : 0) + (tb ? 2000 : 0));
+  const Shape a_shape = ta ? Shape{k, m} : Shape{m, k};
+  const Shape b_shape = tb ? Shape{n, k} : Shape{k, n};
+  Tensor a = Tensor::Randn(a_shape, &rng, 1.0f, true);
+  Tensor b = Tensor::Randn(b_shape, &rng, 1.0f, true);
+  auto f = [&, ta = ta, tb = tb] {
+    Tensor c = MatMul(a, b, ta, tb);
+    return Sum(Mul(c, c));
+  };
+  testing::CheckGradient(a, f);
+  testing::CheckGradient(b, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeProperty,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(2, 5),
+                       ::testing::Values(1, 4), ::testing::Bool(),
+                       ::testing::Bool()));
+
+class ElementwiseShapeProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ElementwiseShapeProperty, BroadcastGradsMatchFiniteDifference) {
+  const auto [n, d] = GetParam();
+  Rng rng(n * 10 + d);
+  Tensor a = Tensor::Randn({n, d}, &rng, 1.0f, true);
+  for (const Shape& b_shape :
+       {Shape{n, d}, Shape{1, 1}, Shape{1, d}, Shape{n, 1}}) {
+    Tensor b = Tensor::Randn(b_shape, &rng, 1.0f, true);
+    auto f = [&] { return Sum(Mul(Add(a, b), Sub(a, b))); };
+    testing::CheckGradient(a, f);
+    testing::CheckGradient(b, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ElementwiseShapeProperty,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 5},
+                                           std::pair{4, 1}, std::pair{3, 4}));
+
+// ------------------------------------------------------ synthetic generator
+
+struct GenParam {
+  int64_t nodes;
+  int64_t comms;
+  double intra;
+  double inter;
+  bool power_law;
+  int64_t attr_dim;
+};
+
+class SyntheticProperty : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(SyntheticProperty, StructuralInvariants) {
+  const GenParam p = GetParam();
+  Rng rng(p.nodes + p.comms);
+  SyntheticConfig cfg;
+  cfg.num_nodes = p.nodes;
+  cfg.num_communities = p.comms;
+  cfg.intra_degree = p.intra;
+  cfg.inter_degree = p.inter;
+  cfg.power_law_degrees = p.power_law;
+  cfg.attribute_dim = p.attr_dim;
+  const Graph g = GenerateSyntheticGraph(cfg, &rng);
+
+  // CSR well-formedness.
+  ASSERT_EQ(g.num_nodes(), p.nodes);
+  ASSERT_EQ(static_cast<int64_t>(g.row_ptr().size()), p.nodes + 1);
+  EXPECT_EQ(g.row_ptr().front(), 0);
+  EXPECT_EQ(g.row_ptr().back(), static_cast<int64_t>(g.col_idx().size()));
+  for (NodeId v = 0; v < p.nodes; ++v) {
+    auto nb = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (size_t i = 1; i < nb.size(); ++i) EXPECT_NE(nb[i - 1], nb[i]);
+    for (NodeId u : nb) {
+      EXPECT_NE(u, v);  // no self loops
+      EXPECT_TRUE(g.HasEdge(u, v));  // symmetric
+    }
+  }
+  // Labels complete and in range.
+  for (NodeId v = 0; v < p.nodes; ++v) {
+    EXPECT_GE(g.CommunityOf(v), 0);
+    EXPECT_LT(g.CommunityOf(v), p.comms);
+  }
+  // Homophily: more intra- than inter-community edges per possible pair.
+  int64_t intra = 0, inter = 0;
+  for (NodeId v = 0; v < p.nodes; ++v) {
+    for (NodeId u : g.Neighbors(v)) {
+      if (u < v) continue;
+      (g.CommunityOf(u) == g.CommunityOf(v) ? intra : inter) += 1;
+    }
+  }
+  EXPECT_GT(intra, inter / 2) << "community structure too weak to plant";
+  // Attribute block respects the configured dimension.
+  if (p.attr_dim > 0) {
+    ASSERT_TRUE(g.has_attributes());
+    for (NodeId v = 0; v < p.nodes; ++v) {
+      for (int32_t a : g.Attributes(v)) {
+        EXPECT_GE(a, 0);
+        EXPECT_LT(a, p.attr_dim);
+      }
+    }
+  } else {
+    EXPECT_FALSE(g.has_attributes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SyntheticProperty,
+    ::testing::Values(GenParam{100, 4, 8, 2, false, 0},
+                      GenParam{400, 10, 12, 3, false, 16},
+                      GenParam{400, 10, 12, 3, true, 0},
+                      GenParam{1000, 25, 6, 1, true, 32},
+                      GenParam{250, 2, 20, 5, false, 8},
+                      GenParam{600, 50, 10, 2, false, 0}));
+
+// ------------------------------------------------------------ task sampler
+
+struct TaskParam {
+  int64_t shots;
+  int64_t pos;
+  int64_t neg;
+  int64_t subgraph;
+};
+
+class TaskSamplerProperty : public ::testing::TestWithParam<TaskParam> {};
+
+TEST_P(TaskSamplerProperty, SampledTaskInvariants) {
+  const TaskParam p = GetParam();
+  Rng gen_rng(99);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 900;
+  cfg.num_communities = 6;
+  cfg.intra_degree = 12;
+  cfg.inter_degree = 2;
+  cfg.attribute_dim = 12;
+  const Graph g = GenerateSyntheticGraph(cfg, &gen_rng);
+
+  TaskConfig tc;
+  tc.shots = p.shots;
+  tc.pos_samples = p.pos;
+  tc.neg_samples = p.neg;
+  tc.subgraph_size = p.subgraph;
+  tc.query_set_size = 6;
+  Rng rng(p.shots * 1000 + p.pos);
+  CsTask task;
+  ASSERT_TRUE(SampleTask(g, tc, {}, 12, &rng, &task));
+
+  EXPECT_EQ(static_cast<int64_t>(task.support.size()), p.shots);
+  EXPECT_LE(task.graph.num_nodes(), p.subgraph);
+  EXPECT_EQ(task.graph.feature_dim(), 14);  // 12 attrs + core + lcc
+  auto check = [&](const QueryExample& ex) {
+    EXPECT_EQ(static_cast<int64_t>(ex.pos.size()), p.pos);
+    EXPECT_EQ(static_cast<int64_t>(ex.neg.size()), p.neg);
+    for (NodeId v : ex.pos) EXPECT_EQ(ex.truth[v], 1);
+    for (NodeId v : ex.neg) EXPECT_EQ(ex.truth[v], 0);
+  };
+  for (const auto& ex : task.support) check(ex);
+  for (const auto& ex : task.query) check(ex);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TaskSamplerProperty,
+                         ::testing::Values(TaskParam{1, 5, 10, 100},
+                                           TaskParam{5, 5, 10, 100},
+                                           TaskParam{1, 2, 4, 60},
+                                           TaskParam{3, 10, 20, 150},
+                                           TaskParam{2, 1, 1, 40}));
+
+// ------------------------------------------------------------- CGNP grid
+
+using CgnpGridParam = std::tuple<GnnKind, CommutativeOp, DecoderKind>;
+
+class CgnpGridProperty : public ::testing::TestWithParam<CgnpGridParam> {};
+
+TEST_P(CgnpGridProperty, TrainsAndPredictsInRange) {
+  const auto [encoder, commutative, decoder] = GetParam();
+  Rng gen_rng(7);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.num_communities = 5;
+  cfg.intra_degree = 12;
+  cfg.inter_degree = 1.5;
+  cfg.attribute_dim = 10;
+  const Graph g = GenerateSyntheticGraph(cfg, &gen_rng);
+  TaskConfig tc;
+  tc.subgraph_size = 60;
+  tc.shots = 2;
+  tc.query_set_size = 4;
+  Rng rng(13);
+  const TaskSplit split =
+      MakeSingleGraphTasks(g, TaskRegime::kSgsc, tc, 5, 0, 2, &rng);
+  ASSERT_FALSE(split.train.empty());
+  ASSERT_FALSE(split.test.empty());
+
+  CgnpConfig model_cfg;
+  model_cfg.encoder = encoder;
+  model_cfg.commutative = commutative;
+  model_cfg.decoder = decoder;
+  model_cfg.hidden_dim = 12;
+  model_cfg.num_layers = 2;
+  model_cfg.epochs = 2;
+  model_cfg.lr = 5e-3f;
+  CgnpMethod method(model_cfg);
+  method.MetaTrain(split.train);
+  for (const auto& task : split.test) {
+    const auto preds = method.PredictTask(task);
+    ASSERT_EQ(preds.size(), task.query.size());
+    for (const auto& p : preds) {
+      ASSERT_EQ(static_cast<int64_t>(p.size()), task.graph.num_nodes());
+      for (float v : p) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+        EXPECT_TRUE(std::isfinite(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, CgnpGridProperty,
+    ::testing::Combine(
+        ::testing::Values(GnnKind::kGcn, GnnKind::kGat, GnnKind::kSage),
+        ::testing::Values(CommutativeOp::kSum, CommutativeOp::kAverage,
+                          CommutativeOp::kAttention,
+                          CommutativeOp::kCrossAttention),
+        ::testing::Values(DecoderKind::kInnerProduct, DecoderKind::kMlp,
+                          DecoderKind::kGnn)));
+
+}  // namespace
+}  // namespace cgnp

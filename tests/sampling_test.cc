@@ -1,0 +1,72 @@
+#include "graph/sampling.h"
+
+#include <set>
+
+#include "data/synthetic.h"
+#include "graph/algorithms.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+TEST(BfsSample, ContainsSeedAndRespectsBudget) {
+  Rng rng(1);
+  Graph g = testing::CompleteGraph(20);
+  const auto nodes = BfsSample(g, 5, 8, &rng);
+  EXPECT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes.front(), 5);
+  std::set<NodeId> uniq(nodes.begin(), nodes.end());
+  EXPECT_EQ(uniq.size(), nodes.size());
+}
+
+TEST(BfsSample, SampleIsConnected) {
+  Rng rng(2);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_communities = 5;
+  Graph g = GenerateSyntheticGraph(cfg, &rng);
+  const auto nodes = BfsSample(g, 0, 100, &rng);
+  Graph sub = InducedSubgraph(g, nodes);
+  // BFS order guarantees each node (after the seed) has an earlier neighbor.
+  const auto cc = ConnectedComponents(sub);
+  for (NodeId v = 0; v < sub.num_nodes(); ++v) EXPECT_EQ(cc[v], cc[0]);
+}
+
+TEST(BfsSample, StopsAtComponentBoundary) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 5);
+  Graph g = b.Build();
+  Rng rng(3);
+  const auto nodes = BfsSample(g, 0, 10, &rng);
+  EXPECT_EQ(nodes.size(), 3u);  // component of 0 is {0,1,2}
+}
+
+TEST(BfsSampleWithRestarts, CoversOtherComponents) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 5);
+  Graph g = b.Build();
+  Rng rng(4);
+  const auto nodes = BfsSampleWithRestarts(g, 0, 6, &rng);
+  EXPECT_EQ(nodes.size(), 6u);
+}
+
+TEST(BfsSample, DifferentRngsGiveDifferentSamples) {
+  Rng gen_rng(5);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.num_communities = 4;
+  cfg.intra_degree = 12;
+  Graph g = GenerateSyntheticGraph(cfg, &gen_rng);
+  Rng a(10), b(11);
+  const auto na = BfsSample(g, 0, 50, &a);
+  const auto nb = BfsSample(g, 0, 50, &b);
+  EXPECT_NE(na, nb);  // randomised expansion order
+}
+
+}  // namespace
+}  // namespace cgnp

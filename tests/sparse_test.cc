@@ -1,0 +1,109 @@
+#include "tensor/sparse.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+// 3x3 matrix [[1,2,0],[0,3,0],[4,0,5]] in CSR.
+SparseMatrix Example3x3() {
+  return SparseMatrix(3, 3, {0, 2, 3, 5}, {0, 1, 1, 0, 2}, {1, 2, 3, 4, 5});
+}
+
+TEST(SparseMatrix, BasicAccessors) {
+  SparseMatrix m = Example3x3();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 5);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  SparseMatrix m = Example3x3();
+  // x = [[1,1],[2,2],[3,3]]
+  const std::vector<float> x = {1, 1, 2, 2, 3, 3};
+  std::vector<float> y(6);
+  m.Multiply(x.data(), 2, y.data());
+  // Row 0: 1*1+2*2 = 5; row 1: 3*2 = 6; row 2: 4*1+5*3 = 19.
+  EXPECT_FLOAT_EQ(y[0], 5);
+  EXPECT_FLOAT_EQ(y[1], 5);
+  EXPECT_FLOAT_EQ(y[2], 6);
+  EXPECT_FLOAT_EQ(y[3], 6);
+  EXPECT_FLOAT_EQ(y[4], 19);
+  EXPECT_FLOAT_EQ(y[5], 19);
+}
+
+TEST(SparseMatrix, TransposedIsInvolution) {
+  SparseMatrix m = Example3x3();
+  SparseMatrix mtt = m.Transposed().Transposed();
+  EXPECT_EQ(mtt.row_ptr(), m.row_ptr());
+  EXPECT_EQ(mtt.col_idx(), m.col_idx());
+  EXPECT_EQ(mtt.values(), m.values());
+}
+
+TEST(SparseMatrix, TransposedMultiplyMatchesManual) {
+  SparseMatrix m = Example3x3();
+  SparseMatrix t = m.Transposed();
+  // A^T = [[1,0,4],[2,3,0],[0,0,5]]
+  const std::vector<float> x = {1, 2, 3};
+  std::vector<float> y(3);
+  t.Multiply(x.data(), 1, y.data());
+  EXPECT_FLOAT_EQ(y[0], 1 * 1 + 4 * 3);
+  EXPECT_FLOAT_EQ(y[1], 2 * 1 + 3 * 2);
+  EXPECT_FLOAT_EQ(y[2], 5 * 3);
+}
+
+TEST(GcnAdjacency, RowsOfNormalisedAdjacency) {
+  // Path 0-1-2: degrees+self = 2,3,2.
+  Graph g = testing::PathGraph(3);
+  const SparseMatrix& a = g.GcnAdjacency();
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.nnz(), 3 + 4);  // self loops + 2 undirected edges both ways
+  // Entry (0,0) = 1/deg0_hat = 1/2; entry (0,1) = 1/sqrt(2*3).
+  std::vector<float> x = {1, 0, 0};
+  std::vector<float> y(3);
+  a.Multiply(x.data(), 1, y.data());
+  EXPECT_NEAR(y[0], 0.5f, 1e-6);
+  EXPECT_NEAR(y[1], 1.0f / std::sqrt(6.0f), 1e-6);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6);
+}
+
+TEST(GcnAdjacency, SymmetryHoldsNumerically) {
+  Graph g = testing::TwoCliqueGraph();
+  const SparseMatrix& a = g.GcnAdjacency();
+  SparseMatrix t = a.Transposed();
+  ASSERT_EQ(t.row_ptr(), a.row_ptr());
+  ASSERT_EQ(t.col_idx(), a.col_idx());
+  for (int64_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_NEAR(t.values()[i], a.values()[i], 1e-7);
+  }
+}
+
+TEST(MeanAdjacency, RowsSumToOne) {
+  Graph g = testing::TwoCliqueGraph();
+  const SparseMatrix& a = g.MeanAdjacency();
+  std::vector<float> ones(8, 1.0f);
+  std::vector<float> y(8);
+  a.Multiply(ones.data(), 1, y.data());
+  for (int64_t v = 0; v < 8; ++v) EXPECT_NEAR(y[v], 1.0f, 1e-6);
+}
+
+TEST(AttentionEdges, SegmentsMatchDegreePlusSelf) {
+  Graph g = testing::PathGraph(4);
+  const auto& ei = g.AttentionEdges();
+  ASSERT_EQ(ei.seg_ptr.size(), 5u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(ei.seg_ptr[v + 1] - ei.seg_ptr[v], g.Degree(v) + 1);
+    // First edge of each segment is the self loop.
+    EXPECT_EQ(ei.src[ei.seg_ptr[v]], v);
+    EXPECT_EQ(ei.dst[ei.seg_ptr[v]], v);
+    for (int64_t e = ei.seg_ptr[v]; e < ei.seg_ptr[v + 1]; ++e) {
+      EXPECT_EQ(ei.dst[e], v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgnp

@@ -1,0 +1,292 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+namespace {
+
+TEST(TensorFactory, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.At(i), 0.0f);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorFactory, FullFillsValue) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.At(i), 3.5f);
+}
+
+TEST(TensorFactory, FromVectorRoundTrips) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.At(1, 2), 6.0f);
+}
+
+TEST(TensorFactory, RandnIsDeterministicGivenSeed) {
+  Rng a(42), b(42);
+  Tensor x = Tensor::Randn({4, 4}, &a);
+  Tensor y = Tensor::Randn({4, 4}, &b);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.At(i), y.At(i));
+}
+
+TEST(TensorFactory, UniformRespectsBounds) {
+  Rng rng(7);
+  Tensor t = Tensor::Uniform({16, 16}, &rng, -0.25f, 0.75f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.At(i), -0.25f);
+    EXPECT_LT(t.At(i), 0.75f);
+  }
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  Tensor t = Tensor::Full({1, 1}, 2.0f);
+  EXPECT_EQ(t.Item(), 2.0f);
+}
+
+TEST(Tensor, DetachSharesNothing) {
+  Tensor t = Tensor::Full({2, 2}, 1.0f, /*requires_grad=*/true);
+  Tensor d = t.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.data()[0] = 5.0f;
+  EXPECT_EQ(t.At(0), 1.0f);
+}
+
+TEST(Tensor, CloneKeepsRequiresGrad) {
+  Tensor t = Tensor::Full({2, 2}, 1.0f, /*requires_grad=*/true);
+  Tensor c = t.Clone();
+  EXPECT_TRUE(c.requires_grad());
+  EXPECT_EQ(c.At(3), 1.0f);
+}
+
+TEST(Tensor, BackwardAccumulatesIntoLeaves) {
+  Tensor x = Tensor::Full({2, 2}, 3.0f, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(x, x));  // d/dx sum(x^2) = 2x
+  loss.Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 6.0f);
+  // Second backward accumulates.
+  Tensor loss2 = Sum(x);
+  loss2.Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 7.0f);
+  x.ZeroGrad();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 0.0f);
+}
+
+TEST(Tensor, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(x*x + x) -> dx = 2x + 1
+  Tensor x = Tensor::Full({1, 3}, 2.0f, /*requires_grad=*/true);
+  Tensor loss = Sum(Add(Mul(x, x), x));
+  loss.Backward();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 5.0f);
+}
+
+TEST(NoGrad, SkipsTapeConstruction) {
+  Tensor x = Tensor::Full({2, 2}, 1.0f, /*requires_grad=*/true);
+  NoGradGuard guard;
+  Tensor y = Mul(x, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(NoGrad, RestoresModeOnScopeExit) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(Ops, AddBroadcastRow) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.At(1, 2), 36);
+}
+
+TEST(Ops, AddBroadcastCol) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({2, 1}, {10, 100});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 104);
+}
+
+TEST(Ops, MulBroadcastScalarTensor) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Full({1, 1}, 2.0f);
+  Tensor c = Mul(a, s);
+  EXPECT_FLOAT_EQ(c.At(3), 8);
+}
+
+TEST(Ops, DivElementwise) {
+  Tensor a = Tensor::FromVector({1, 2}, {8, 9});
+  Tensor b = Tensor::FromVector({1, 2}, {2, 3});
+  Tensor c = Div(a, b);
+  EXPECT_FLOAT_EQ(c.At(0), 4);
+  EXPECT_FLOAT_EQ(c.At(1), 3);
+}
+
+TEST(Ops, MatMulValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(Ops, MatMulTransposeFlagsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 3}, &rng);
+  Tensor b = Tensor::Randn({5, 3}, &rng);
+  // a * b^T computed two ways.
+  Tensor direct = MatMul(a, b, false, true);
+  Tensor via_t = MatMul(a, Transpose(b));
+  for (int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct.At(i), via_t.At(i), 1e-5);
+  }
+  // a^T as first operand.
+  Tensor d2 = MatMul(a, a, true, false);  // {3,3}
+  Tensor v2 = MatMul(Transpose(a), a);
+  for (int64_t i = 0; i < d2.numel(); ++i) {
+    EXPECT_NEAR(d2.At(i), v2.At(i), 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({6, 9}, &rng, 3.0f);
+  Tensor s = Softmax(a);
+  for (int64_t i = 0; i < 6; ++i) {
+    float total = 0;
+    for (int64_t j = 0; j < 9; ++j) {
+      const float v = s.At(i, j);
+      EXPECT_GE(v, 0.0f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({1, 3}, {1001, 1002, 1003});
+  Tensor sa = Softmax(a), sb = Softmax(b);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(sa.At(j), sb.At(j), 1e-6);
+}
+
+TEST(Ops, SumDimAndMeanDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rows = SumDim(a, 0);  // {1,3}
+  EXPECT_EQ(rows.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(rows.At(0), 5);
+  EXPECT_FLOAT_EQ(rows.At(2), 9);
+  Tensor cols = SumDim(a, 1);  // {2,1}
+  EXPECT_EQ(cols.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(cols.At(0), 6);
+  EXPECT_FLOAT_EQ(cols.At(1), 15);
+  EXPECT_FLOAT_EQ(MeanDim(a, 0).At(1), 3.5f);
+  EXPECT_FLOAT_EQ(MeanDim(a, 1).At(1), 5.0f);
+}
+
+TEST(Ops, ConcatColsAndRows) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 1}, {9, 8});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.At(0, 2), 9);
+  EXPECT_FLOAT_EQ(c.At(1, 2), 8);
+  Tensor r = ConcatRows(a, Tensor::FromVector({1, 2}, {7, 7}));
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.At(2, 0), 7);
+}
+
+TEST(Ops, IndexSelectRowsPicksRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = IndexSelectRows(a, {2, 0, 2});
+  EXPECT_EQ(s.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(s.At(0, 0), 5);
+  EXPECT_FLOAT_EQ(s.At(1, 1), 2);
+  EXPECT_FLOAT_EQ(s.At(2, 1), 6);
+}
+
+TEST(Ops, ActivationValues) {
+  Tensor x = Tensor::FromVector({1, 4}, {-2, -0.5, 0.5, 2});
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.At(0), 0);
+  EXPECT_FLOAT_EQ(r.At(3), 2);
+  Tensor l = LeakyRelu(x, 0.1f);
+  EXPECT_FLOAT_EQ(l.At(0), -0.2f);
+  EXPECT_FLOAT_EQ(l.At(3), 2);
+  Tensor s = Sigmoid(Tensor::FromVector({1, 1}, {0}));
+  EXPECT_FLOAT_EQ(s.At(0), 0.5f);
+  // Extreme logits stay finite.
+  Tensor ext = Sigmoid(Tensor::FromVector({1, 2}, {-100, 100}));
+  EXPECT_NEAR(ext.At(0), 0.0f, 1e-6);
+  EXPECT_NEAR(ext.At(1), 1.0f, 1e-6);
+}
+
+TEST(Ops, DropoutTrainAndEval) {
+  Rng rng(11);
+  Tensor x = Tensor::Full({64, 8}, 1.0f);
+  Tensor eval = Dropout(x, 0.5f, /*training=*/false, &rng);
+  for (int64_t i = 0; i < eval.numel(); ++i) EXPECT_EQ(eval.At(i), 1.0f);
+  Tensor train = Dropout(x, 0.5f, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < train.numel(); ++i) {
+    if (train.At(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(train.At(i), 2.0f);  // inverted scaling
+    }
+  }
+  // Roughly half should be dropped.
+  EXPECT_GT(zeros, 64 * 8 / 4);
+  EXPECT_LT(zeros, 64 * 8 * 3 / 4);
+}
+
+TEST(Ops, BceWithLogitsMatchesManual) {
+  Tensor logits = Tensor::FromVector({4, 1}, {2.0f, -1.0f, 0.0f, 3.0f});
+  std::vector<float> targets = {1, 0, 1, 0};
+  std::vector<float> mask = {1, 1, 1, 0};  // last entry ignored
+  Tensor loss = BceWithLogits(logits, targets, mask);
+  auto bce = [](float z, float y) {
+    const float p = 1.0f / (1.0f + std::exp(-z));
+    return -(y * std::log(p) + (1 - y) * std::log(1 - p));
+  };
+  const float expect = (bce(2, 1) + bce(-1, 0) + bce(0, 1)) / 3.0f;
+  EXPECT_NEAR(loss.Item(), expect, 1e-5);
+}
+
+TEST(Ops, SigmoidValuesMatchesSigmoid) {
+  Tensor logits = Tensor::FromVector({3, 1}, {-1, 0, 1});
+  auto vals = SigmoidValues(logits);
+  Tensor ref = Sigmoid(logits);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(vals[i], ref.At(i), 1e-6);
+}
+
+TEST(Ops, ReshapePreservesData) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(r.At(2, 1), 6);
+}
+
+}  // namespace
+}  // namespace cgnp

@@ -1,0 +1,80 @@
+// Shared test helpers: finite-difference gradient checking and small graph
+// fixtures.
+#ifndef CGNP_TESTS_TEST_UTIL_H_
+#define CGNP_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace cgnp {
+namespace testing {
+
+// Checks d(scalar f)/d(x) against central finite differences for every
+// element of x. `f` must rebuild the computation from scratch on each call
+// (x's data is perturbed in place).
+inline void CheckGradient(Tensor x, const std::function<Tensor()>& f,
+                          float eps = 1e-2f, float rtol = 5e-2f,
+                          float atol = 5e-3f) {
+  ASSERT_TRUE(x.requires_grad());
+  // Analytic gradient.
+  Tensor loss = f();
+  ASSERT_EQ(loss.numel(), 1);
+  x.ZeroGrad();
+  loss.Backward();
+  std::vector<float> analytic = x.grad();
+
+  float* data = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = data[i];
+    data[i] = orig + eps;
+    const float hi = f().Item();
+    data[i] = orig - eps;
+    const float lo = f().Item();
+    data[i] = orig;
+    const float numeric = (hi - lo) / (2.0f * eps);
+    const float tol = atol + rtol * std::fabs(numeric);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+// Path graph 0-1-2-...-(n-1).
+inline Graph PathGraph(int64_t n) {
+  GraphBuilder b(n);
+  for (int64_t i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+// Complete graph K_n.
+inline Graph CompleteGraph(int64_t n) {
+  GraphBuilder b(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) b.AddEdge(i, j);
+  }
+  return b.Build();
+}
+
+// Two K_4 cliques bridged by a single edge (3-4); a classic two-community
+// fixture. Nodes 0-3 = community 0, nodes 4-7 = community 1.
+inline Graph TwoCliqueGraph() {
+  GraphBuilder b(8);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = i + 1; j < 4; ++j) {
+      b.AddEdge(i, j);
+      b.AddEdge(i + 4, j + 4);
+    }
+  }
+  b.AddEdge(3, 4);
+  b.SetCommunities({0, 0, 0, 0, 1, 1, 1, 1});
+  return b.Build();
+}
+
+}  // namespace testing
+}  // namespace cgnp
+
+#endif  // CGNP_TESTS_TEST_UTIL_H_
