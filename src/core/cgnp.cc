@@ -39,6 +39,7 @@ std::string CgnpConfig::VariantName() const {
 
 CgnpModel::CgnpModel(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng)
     : cfg_(cfg),
+      feature_dim_(feature_dim),
       encoder_(cfg, feature_dim, rng),
       commutative_(cfg.commutative, cfg.hidden_dim, rng),
       decoder_(cfg, rng) {

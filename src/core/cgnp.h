@@ -25,6 +25,16 @@
 
 namespace cgnp {
 
+// Thread-safety contract: the const methods below (TaskContext,
+// QueryLogits) are safe to call concurrently from multiple threads
+// PROVIDED that (a) the model is in eval mode (SetTraining(false) -- the
+// trainers leave it there), (b) every calling thread runs under a
+// NoGradGuard (grad mode is thread-local, see tensor/tensor.h) so no
+// thread wires shared parameter tensors into a tape, (c) `rng` is nullptr
+// (dropout disabled -- inference never needs it), and (d) each thread
+// passes its own Graph whose lazily-built adjacency caches are private to
+// it (or pre-warmed before sharing). QueryServer in src/serve enforces
+// all four.
 class CgnpModel : public Module {
  public:
   CgnpModel(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng);
@@ -39,9 +49,13 @@ class CgnpModel : public Module {
                      Rng* rng) const;
 
   const CgnpConfig& config() const { return cfg_; }
+  // Input feature dimensionality the encoder was built for; checkpoints
+  // store it so a loaded model rejects incompatible graphs early.
+  int64_t feature_dim() const { return feature_dim_; }
 
  private:
   CgnpConfig cfg_;
+  int64_t feature_dim_ = 0;
   CgnpEncoder encoder_;
   Commutative commutative_;
   CgnpDecoder decoder_;

@@ -1,0 +1,116 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "tensor/io.h"
+
+namespace cgnp {
+
+namespace {
+constexpr uint32_t kModelMagic = 0x43474D4Du;  // "CGMM"
+constexpr uint32_t kModelVersion = 1;
+}  // namespace
+
+void WriteCgnpConfig(std::ostream& out, const CgnpConfig& cfg) {
+  io::WriteU32(out, static_cast<uint32_t>(cfg.encoder));
+  io::WriteU32(out, static_cast<uint32_t>(cfg.commutative));
+  io::WriteU32(out, static_cast<uint32_t>(cfg.decoder));
+  io::WriteI64(out, cfg.hidden_dim);
+  io::WriteI64(out, cfg.num_layers);
+  io::WriteI64(out, cfg.decoder_layers);
+  io::WriteF32(out, cfg.dropout);
+  io::WriteF32(out, cfg.lr);
+  io::WriteI64(out, cfg.epochs);
+  io::WriteU64(out, cfg.seed);
+}
+
+CgnpConfig ReadCgnpConfig(std::istream& in) {
+  CgnpConfig cfg;
+  const uint32_t encoder = io::ReadU32(in);
+  CGNP_CHECK_LE(encoder, static_cast<uint32_t>(GnnKind::kSage))
+      << " corrupt checkpoint: bad encoder kind";
+  cfg.encoder = static_cast<GnnKind>(encoder);
+  const uint32_t commutative = io::ReadU32(in);
+  CGNP_CHECK_LE(commutative,
+                static_cast<uint32_t>(CommutativeOp::kCrossAttention))
+      << " corrupt checkpoint: bad commutative op";
+  cfg.commutative = static_cast<CommutativeOp>(commutative);
+  const uint32_t decoder = io::ReadU32(in);
+  CGNP_CHECK_LE(decoder, static_cast<uint32_t>(DecoderKind::kGnn))
+      << " corrupt checkpoint: bad decoder kind";
+  cfg.decoder = static_cast<DecoderKind>(decoder);
+  cfg.hidden_dim = io::ReadI64(in);
+  cfg.num_layers = io::ReadI64(in);
+  cfg.decoder_layers = io::ReadI64(in);
+  cfg.dropout = io::ReadF32(in);
+  cfg.lr = io::ReadF32(in);
+  cfg.epochs = io::ReadI64(in);
+  cfg.seed = io::ReadU64(in);
+  CGNP_CHECK_GT(cfg.hidden_dim, 0) << " corrupt checkpoint: hidden_dim";
+  CGNP_CHECK_GT(cfg.num_layers, 0) << " corrupt checkpoint: num_layers";
+  return cfg;
+}
+
+void WriteTaskConfig(std::ostream& out, const TaskConfig& cfg) {
+  io::WriteI64(out, cfg.subgraph_size);
+  io::WriteI64(out, cfg.shots);
+  io::WriteI64(out, cfg.query_set_size);
+  io::WriteI64(out, cfg.pos_samples);
+  io::WriteI64(out, cfg.neg_samples);
+  io::WriteU32(out, cfg.clamp_samples ? 1 : 0);
+}
+
+TaskConfig ReadTaskConfig(std::istream& in) {
+  TaskConfig cfg;
+  cfg.subgraph_size = io::ReadI64(in);
+  cfg.shots = io::ReadI64(in);
+  cfg.query_set_size = io::ReadI64(in);
+  cfg.pos_samples = io::ReadI64(in);
+  cfg.neg_samples = io::ReadI64(in);
+  cfg.clamp_samples = io::ReadU32(in) != 0;
+  CGNP_CHECK_GT(cfg.subgraph_size, 0) << " corrupt checkpoint: subgraph_size";
+  return cfg;
+}
+
+void CgnpModelWrite(std::ostream& out, const CgnpModel& model) {
+  WriteCgnpConfig(out, model.config());
+  io::WriteI64(out, model.feature_dim());
+  model.WriteParameters(out);
+}
+
+std::unique_ptr<CgnpModel> CgnpModelRead(std::istream& in) {
+  const CgnpConfig cfg = ReadCgnpConfig(in);
+  const int64_t feature_dim = io::ReadI64(in);
+  CGNP_CHECK_GT(feature_dim, 0) << " corrupt checkpoint: feature_dim";
+  // Build the module tree (parameter shapes derive from the config), then
+  // overwrite the freshly initialised values with the stored ones.
+  Rng rng(cfg.seed);
+  auto model = std::make_unique<CgnpModel>(cfg, feature_dim, &rng);
+  model->ReadParameters(in);
+  model->SetTraining(false);  // checkpoints are served, not resumed
+  return model;
+}
+
+void CgnpModelSave(const CgnpModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CGNP_CHECK(out.good()) << " cannot write model checkpoint: " << path;
+  io::WriteU32(out, kModelMagic);
+  io::WriteU32(out, kModelVersion);
+  CgnpModelWrite(out, model);
+  CGNP_CHECK(out.good()) << " short write to model checkpoint: " << path;
+}
+
+std::unique_ptr<CgnpModel> CgnpModelLoad(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGNP_CHECK(in.good()) << " cannot read model checkpoint: " << path;
+  CGNP_CHECK_EQ(io::ReadU32(in), kModelMagic)
+      << " not a cgnp model checkpoint: " << path;
+  CGNP_CHECK_EQ(io::ReadU32(in), kModelVersion)
+      << " unsupported model checkpoint version: " << path;
+  auto model = CgnpModelRead(in);
+  CGNP_CHECK(in.good()) << " truncated model checkpoint: " << path;
+  return model;
+}
+
+}  // namespace cgnp

@@ -1,0 +1,40 @@
+// Versioned binary checkpointing of CGNP models: a trained model is saved
+// as (config, feature_dim, parameter tensors with shape headers) so it can
+// be reconstructed in a fresh process -- train once, serve forever. Loading
+// rebuilds the module tree from the stored config and then overwrites every
+// parameter, validating tensor count and shapes along the way; any
+// mismatch (or a truncated / foreign file) aborts instead of silently
+// serving a corrupt model.
+//
+// CommunitySearchEngine has its own framing on top of this (it adds the
+// task-sampling options and attribute dimensionality); see engine.h.
+#ifndef CGNP_CORE_CHECKPOINT_H_
+#define CGNP_CORE_CHECKPOINT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/cgnp.h"
+
+namespace cgnp {
+
+// Whole-file save/load with magic + version framing.
+void CgnpModelSave(const CgnpModel& model, const std::string& path);
+std::unique_ptr<CgnpModel> CgnpModelLoad(const std::string& path);
+
+// Stream-level payload (config + feature_dim + parameters, no framing),
+// for embedding a model inside a larger checkpoint file.
+void CgnpModelWrite(std::ostream& out, const CgnpModel& model);
+std::unique_ptr<CgnpModel> CgnpModelRead(std::istream& in);
+
+// Field-by-field config (de)serialisation, shared by the model and engine
+// checkpoint formats.
+void WriteCgnpConfig(std::ostream& out, const CgnpConfig& cfg);
+CgnpConfig ReadCgnpConfig(std::istream& in);
+void WriteTaskConfig(std::ostream& out, const TaskConfig& cfg);
+TaskConfig ReadTaskConfig(std::istream& in);
+
+}  // namespace cgnp
+
+#endif  // CGNP_CORE_CHECKPOINT_H_

@@ -1,9 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/check.h"
+#include "core/checkpoint.h"
 #include "graph/sampling.h"
+#include "tensor/io.h"
 
 namespace cgnp {
 
@@ -18,7 +21,69 @@ int64_t AttributeDimOf(const Graph& g) {
   return mx + 1;
 }
 
+constexpr uint32_t kEngineMagic = 0x4347454Eu;  // "CGEN"
+constexpr uint32_t kEngineVersion = 1;
+
 }  // namespace
+
+LocalQueryTask BuildQueryTask(const Graph& g, NodeId query,
+                              const std::vector<QueryExample>& labelled,
+                              const TaskConfig& tasks, int64_t attribute_dim,
+                              uint64_t seed) {
+  LocalQueryTask out;
+  Rng rng(seed ^ static_cast<uint64_t>(query + 1));
+  out.nodes = BfsSample(g, query, tasks.subgraph_size, &rng);
+  // The query (BFS seed) is nodes[0]; map ids.
+  std::vector<NodeId> new_of_old;
+  Graph sub = InducedSubgraph(g, out.nodes, &new_of_old);
+  out.graph = AttachTaskFeatures(sub, attribute_dim);
+  out.query = new_of_old[query];
+
+  // Remap user-provided support observations into the task subgraph.
+  // Support ids come from external callers (serving requests), so they are
+  // range-checked rather than trusted.
+  const NodeId n = g.num_nodes();
+  auto checked = [n](NodeId v) {
+    CGNP_CHECK(v >= 0 && v < n) << " support node id out of range";
+    return v;
+  };
+  for (const auto& ex : labelled) {
+    if (new_of_old[checked(ex.query)] < 0) continue;
+    QueryExample local;
+    local.query = new_of_old[ex.query];
+    for (NodeId v : ex.pos) {
+      if (new_of_old[checked(v)] >= 0) local.pos.push_back(new_of_old[v]);
+    }
+    for (NodeId v : ex.neg) {
+      if (new_of_old[checked(v)] >= 0) local.neg.push_back(new_of_old[v]);
+    }
+    out.support.push_back(std::move(local));
+  }
+  if (out.support.empty()) {
+    // Zero-shot: condition on the query alone.
+    QueryExample self;
+    self.query = out.query;
+    out.support.push_back(std::move(self));
+  }
+  return out;
+}
+
+std::vector<NodeId> MembersFromContext(const CgnpModel& model,
+                                       const LocalQueryTask& task,
+                                       const Tensor& context, float threshold,
+                                       std::vector<float>* member_probs) {
+  Tensor logits = model.QueryLogits(task.graph, context, task.query, nullptr);
+  const std::vector<float> probs = SigmoidValues(logits);
+  std::vector<NodeId> members;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] >= threshold ||
+        static_cast<NodeId>(i) == task.query) {
+      members.push_back(task.nodes[i]);
+      if (member_probs != nullptr) member_probs->push_back(probs[i]);
+    }
+  }
+  return members;
+}
 
 CommunitySearchEngine::CommunitySearchEngine(Options options)
     : options_(std::move(options)) {}
@@ -61,50 +126,61 @@ std::vector<NodeId> CommunitySearchEngine::Search(
     const Graph& g, NodeId query, const std::vector<QueryExample>& labelled,
     float threshold) {
   CGNP_CHECK(trained()) << " call Fit before Search";
-  // Build a task neighborhood around the query.
-  Rng rng(options_.seed ^ static_cast<uint64_t>(query + 1));
-  std::vector<NodeId> nodes =
-      BfsSample(g, query, options_.tasks.subgraph_size, &rng);
-  // The query (BFS seed) is nodes[0]; map ids.
-  std::vector<NodeId> new_of_old;
-  Graph sub = InducedSubgraph(g, nodes, &new_of_old);
-  Graph task_graph = AttachTaskFeatures(sub, attribute_dim_);
-  CGNP_CHECK_EQ(task_graph.feature_dim(), feature_dim_)
+  LocalQueryTask task = BuildQueryTask(g, query, labelled, options_.tasks,
+                                       attribute_dim_, options_.seed);
+  CGNP_CHECK_EQ(task.graph.feature_dim(), feature_dim_)
       << " query graph features incompatible with the fitted model";
 
-  // Remap user-provided support observations into the task subgraph.
-  std::vector<QueryExample> support;
-  for (const auto& ex : labelled) {
-    if (new_of_old[ex.query] < 0) continue;
-    QueryExample local;
-    local.query = new_of_old[ex.query];
-    for (NodeId v : ex.pos) {
-      if (new_of_old[v] >= 0) local.pos.push_back(new_of_old[v]);
-    }
-    for (NodeId v : ex.neg) {
-      if (new_of_old[v] >= 0) local.neg.push_back(new_of_old[v]);
-    }
-    support.push_back(std::move(local));
-  }
-  if (support.empty()) {
-    // Zero-shot: condition on the query alone.
-    QueryExample self;
-    self.query = new_of_old[query];
-    support.push_back(std::move(self));
-  }
-
+  // Inference only: never record tape (see the thread-safety contract on
+  // CgnpModel's const methods in core/cgnp.h).
   NoGradGuard no_grad;
-  Tensor context = model_->TaskContext(task_graph, support, nullptr);
-  Tensor logits =
-      model_->QueryLogits(task_graph, context, new_of_old[query], nullptr);
-  const std::vector<float> probs = SigmoidValues(logits);
-  std::vector<NodeId> members;
-  for (size_t i = 0; i < probs.size(); ++i) {
-    if (probs[i] >= threshold || nodes[i] == query) {
-      members.push_back(nodes[i]);
-    }
+  Tensor context = model_->TaskContext(task.graph, task.support, nullptr);
+  return MembersFromContext(*model_, task, context, threshold);
+}
+
+void CommunitySearchEngine::SaveCheckpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  CGNP_CHECK(out.good()) << " cannot write engine checkpoint: " << path;
+  io::WriteU32(out, kEngineMagic);
+  io::WriteU32(out, kEngineVersion);
+  WriteCgnpConfig(out, options_.model);
+  WriteTaskConfig(out, options_.tasks);
+  io::WriteI64(out, options_.num_train_tasks);
+  io::WriteI64(out, options_.num_valid_tasks);
+  io::WriteI64(out, options_.early_stop_patience);
+  io::WriteU64(out, options_.seed);
+  io::WriteI64(out, feature_dim_);
+  io::WriteI64(out, attribute_dim_);
+  io::WriteU32(out, trained() ? 1 : 0);
+  if (trained()) CgnpModelWrite(out, *model_);
+  CGNP_CHECK(out.good()) << " short write to engine checkpoint: " << path;
+}
+
+CommunitySearchEngine CommunitySearchEngine::LoadCheckpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGNP_CHECK(in.good()) << " cannot read engine checkpoint: " << path;
+  CGNP_CHECK_EQ(io::ReadU32(in), kEngineMagic)
+      << " not an engine checkpoint: " << path;
+  CGNP_CHECK_EQ(io::ReadU32(in), kEngineVersion)
+      << " unsupported engine checkpoint version: " << path;
+  Options options;
+  options.model = ReadCgnpConfig(in);
+  options.tasks = ReadTaskConfig(in);
+  options.num_train_tasks = io::ReadI64(in);
+  options.num_valid_tasks = io::ReadI64(in);
+  options.early_stop_patience = io::ReadI64(in);
+  options.seed = io::ReadU64(in);
+  CommunitySearchEngine engine(std::move(options));
+  engine.feature_dim_ = io::ReadI64(in);
+  engine.attribute_dim_ = io::ReadI64(in);
+  if (io::ReadU32(in) != 0) {
+    engine.model_ = CgnpModelRead(in);
+    CGNP_CHECK_EQ(engine.model_->feature_dim(), engine.feature_dim_)
+        << " engine checkpoint model/feature_dim mismatch";
   }
-  return members;
+  CGNP_CHECK(in.good()) << " truncated engine checkpoint: " << path;
+  return engine;
 }
 
 }  // namespace cgnp

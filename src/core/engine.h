@@ -5,12 +5,49 @@
 #define CGNP_CORE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cgnp.h"
 #include "data/tasks.h"
 
 namespace cgnp {
+
+// A community-search query materialised as a self-contained local task:
+// the BFS subgraph around the query with the Section VII-A feature matrix
+// attached, support observations remapped into local ids, and the map back
+// to the parent graph's ids. Both CommunitySearchEngine::Search and the
+// serving subsystem (src/serve) build queries through this, so the two
+// paths are prediction-identical by construction.
+struct LocalQueryTask {
+  Graph graph;                  // feature-attached task subgraph
+  std::vector<NodeId> nodes;    // local id -> parent graph id
+  NodeId query = -1;            // local id of the query node
+  // Support in local ids; never empty (falls back to the zero-shot
+  // self-observation when no labelled example survives the remap).
+  std::vector<QueryExample> support;
+};
+
+// Deterministic given (g, query, seed): the BFS sample draws from an rng
+// seeded with `seed ^ (query + 1)`, so repeated calls -- from any thread --
+// materialise the same task. Labelled examples whose nodes fall outside
+// the sampled subgraph are dropped (entirely, when the query itself does);
+// node ids outside [0, g.num_nodes()) abort.
+LocalQueryTask BuildQueryTask(const Graph& g, NodeId query,
+                              const std::vector<QueryExample>& labelled,
+                              const TaskConfig& tasks, int64_t attribute_dim,
+                              uint64_t seed);
+
+// The decode half shared by Search and the server: one decoder pass over
+// the task given its context, sigmoid, then the membership rule (prob >=
+// threshold, query always included). Returns members in the parent
+// graph's ids; when `member_probs` is non-null it receives the matching
+// per-member probability.
+std::vector<NodeId> MembersFromContext(const CgnpModel& model,
+                                       const LocalQueryTask& task,
+                                       const Tensor& context, float threshold,
+                                       std::vector<float>* member_probs =
+                                           nullptr);
 
 class CommunitySearchEngine {
  public:
@@ -41,8 +78,18 @@ class CommunitySearchEngine {
                              const std::vector<QueryExample>& labelled = {},
                              float threshold = 0.5f);
 
+  // Persists the engine (options + attribute/feature dims + the trained
+  // model, when present) so a model trains once and serves forever.
+  // Versioned binary format built on core/checkpoint.h.
+  void SaveCheckpoint(const std::string& path) const;
+  // Restores an engine saved with SaveCheckpoint in a fresh process; a
+  // restored trained engine answers Search without re-Fitting.
+  static CommunitySearchEngine LoadCheckpoint(const std::string& path);
+
   bool trained() const { return model_ != nullptr; }
   const CgnpModel* model() const { return model_.get(); }
+  const Options& options() const { return options_; }
+  int64_t attribute_dim() const { return attribute_dim_; }
 
  private:
   Options options_;

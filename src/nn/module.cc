@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "tensor/io.h"
 
 namespace cgnp {
 
@@ -65,50 +66,32 @@ constexpr uint32_t kCheckpointVersion = 1;
 void Module::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   CGNP_CHECK(out.good()) << " cannot write checkpoint: " << path;
-  auto put_u32 = [&out](uint32_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto put_i64 = [&out](int64_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  const auto params = Parameters();
-  put_u32(kCheckpointMagic);
-  put_u32(kCheckpointVersion);
-  put_u32(static_cast<uint32_t>(params.size()));
-  for (const auto& p : params) {
-    put_u32(static_cast<uint32_t>(p.shape().size()));
-    for (int64_t d : p.shape()) put_i64(d);
-    out.write(reinterpret_cast<const char*>(p.data()),
-              p.numel() * sizeof(float));
-  }
+  io::WriteU32(out, kCheckpointMagic);
+  io::WriteU32(out, kCheckpointVersion);
+  WriteParameters(out);
   CGNP_CHECK(out.good()) << " short write to checkpoint: " << path;
 }
 
 void Module::LoadFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CGNP_CHECK(in.good()) << " cannot read checkpoint: " << path;
-  auto get_u32 = [&in] {
-    uint32_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  auto get_i64 = [&in] {
-    int64_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  CGNP_CHECK_EQ(get_u32(), kCheckpointMagic) << " not a cgnp checkpoint";
-  CGNP_CHECK_EQ(get_u32(), kCheckpointVersion) << " checkpoint version";
-  auto params = Parameters();
-  CGNP_CHECK_EQ(get_u32(), static_cast<uint32_t>(params.size()))
-      << " checkpoint structure mismatch";
-  for (auto& p : params) {
-    const uint32_t rank = get_u32();
-    CGNP_CHECK_EQ(rank, static_cast<uint32_t>(p.shape().size()));
-    for (int64_t d : p.shape()) CGNP_CHECK_EQ(get_i64(), d);
-    in.read(reinterpret_cast<char*>(p.data()), p.numel() * sizeof(float));
-  }
+  CGNP_CHECK_EQ(io::ReadU32(in), kCheckpointMagic) << " not a cgnp checkpoint";
+  CGNP_CHECK_EQ(io::ReadU32(in), kCheckpointVersion) << " checkpoint version";
+  ReadParameters(in);
   CGNP_CHECK(in.good()) << " truncated checkpoint: " << path;
+}
+
+void Module::WriteParameters(std::ostream& out) const {
+  const auto params = Parameters();
+  io::WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) io::WriteTensor(out, p);
+}
+
+void Module::ReadParameters(std::istream& in) {
+  auto params = Parameters();
+  CGNP_CHECK_EQ(io::ReadU32(in), static_cast<uint32_t>(params.size()))
+      << " checkpoint structure mismatch";
+  for (auto& p : params) io::ReadTensorInto(in, &p);
 }
 
 Tensor Module::RegisterParameter(Tensor t) {

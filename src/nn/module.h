@@ -8,6 +8,7 @@
 #define CGNP_NN_MODULE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,13 @@ class Module {
   // dump; see module.cc.
   void SaveToFile(const std::string& path) const;
   void LoadFromFile(const std::string& path);
+
+  // Stream-level parameter block (tensor count + per-tensor payloads,
+  // no magic/version framing) for embedding in larger checkpoint files;
+  // see tensor/io.h for the payload format. ReadParameters validates the
+  // stored shapes against this module's structure and aborts on mismatch.
+  void WriteParameters(std::ostream& out) const;
+  void ReadParameters(std::istream& in);
 
  protected:
   Module() = default;

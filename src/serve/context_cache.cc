@@ -1,0 +1,93 @@
+#include "serve/context_cache.h"
+
+namespace cgnp {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+void HashI64(uint64_t* h, int64_t v) {
+  auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (u >> (8 * i)) & 0xFFu;
+    *h *= kFnvPrime;
+  }
+}
+
+void HashIds(uint64_t* h, const std::vector<NodeId>& ids) {
+  HashI64(h, static_cast<int64_t>(ids.size()));
+  for (NodeId v : ids) HashI64(h, v);
+}
+
+}  // namespace
+
+uint64_t TaskFingerprint(const LocalQueryTask& task) {
+  uint64_t h = kFnvOffset;
+  HashIds(&h, task.nodes);
+  HashI64(&h, task.query);
+  HashI64(&h, static_cast<int64_t>(task.support.size()));
+  for (const auto& ex : task.support) {
+    HashI64(&h, ex.query);
+    HashIds(&h, ex.pos);
+    HashIds(&h, ex.neg);
+  }
+  return h;
+}
+
+ContextCache::ContextCache(int64_t capacity) : capacity_(capacity) {}
+
+bool ContextCache::Get(const Key& key, Tensor* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  *out = it->second->second;
+  return true;
+}
+
+void ContextCache::Put(const Key& key, Tensor context) {
+  if (capacity_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(context);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(context));
+  index_[key] = lru_.begin();
+  if (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void ContextCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+int64_t ContextCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+uint64_t ContextCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ContextCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace serve
+}  // namespace cgnp

@@ -1,0 +1,84 @@
+// LRU cache of task contexts -- the serving-time expression of the paper's
+// key inference asymmetry (Algorithm 2): the support set is encoded ONCE
+// into a context H, after which every query is a single cheap decoder pass.
+// Entries are keyed by (graph id, task fingerprint), where the fingerprint
+// hashes the materialised local task (subgraph node list + support set in
+// local ids), so a hit is only possible when the encoder would have been
+// fed bit-identical inputs -- cached and fresh contexts are therefore
+// numerically identical, not merely approximately so.
+//
+// Thread safety: all methods are safe to call concurrently. Cached Tensor
+// values are produced under NoGradGuard (no tape, no grad) and treated as
+// immutable by all readers.
+#ifndef CGNP_SERVE_CONTEXT_CACHE_H_
+#define CGNP_SERVE_CONTEXT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/engine.h"
+#include "tensor/tensor.h"
+
+namespace cgnp {
+namespace serve {
+
+// 64-bit FNV-1a over the local task's identity: subgraph node list, local
+// query, and every support example's (query, pos, neg) lists. Two tasks
+// with equal fingerprints feed the encoder identical inputs (modulo hash
+// collisions, ~2^-64 per pair).
+uint64_t TaskFingerprint(const LocalQueryTask& task);
+
+class ContextCache {
+ public:
+  struct Key {
+    uint64_t graph_id = 0;
+    uint64_t fingerprint = 0;
+    bool operator==(const Key& o) const {
+      return graph_id == o.graph_id && fingerprint == o.fingerprint;
+    }
+  };
+
+  // `capacity` = max resident contexts; <= 0 disables caching entirely
+  // (Get always misses, Put is a no-op).
+  explicit ContextCache(int64_t capacity);
+
+  // On hit, copies the cached context into *out, promotes the entry to
+  // most-recently-used, and returns true.
+  bool Get(const Key& key, Tensor* out);
+  // Inserts (or refreshes) an entry, evicting the least-recently-used
+  // entry when over capacity.
+  void Put(const Key& key, Tensor context);
+
+  void Clear();
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Fingerprints are already well-mixed; fold in the graph id.
+      return static_cast<size_t>(k.fingerprint ^
+                                 (k.graph_id * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  // Most-recently-used at the front.
+  std::list<std::pair<Key, Tensor>> lru_;
+  std::unordered_map<Key, std::list<std::pair<Key, Tensor>>::iterator, KeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace cgnp
+
+#endif  // CGNP_SERVE_CONTEXT_CACHE_H_

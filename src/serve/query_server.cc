@@ -1,0 +1,185 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace cgnp {
+namespace serve {
+
+namespace {
+
+double PercentileOf(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const CgnpModel* model, ServeOptions options)
+    : model_(model),
+      options_(options),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {
+  CGNP_CHECK(model_ != nullptr) << " QueryServer needs a trained model";
+  // Concurrent const access is only safe in eval mode; see the
+  // thread-safety contract in core/cgnp.h.
+  CGNP_CHECK(!model_->training())
+      << " QueryServer requires an eval-mode model (SetTraining(false))";
+}
+
+namespace {
+
+const CgnpModel* CheckedEngineModel(const CommunitySearchEngine& engine) {
+  CGNP_CHECK(engine.trained())
+      << " QueryServer needs a fitted or loaded engine";
+  return engine.model();
+}
+
+ServeOptions FromEngineOptions(const CommunitySearchEngine& engine,
+                               int num_threads, int64_t cache_capacity) {
+  ServeOptions o;
+  o.num_threads = num_threads;
+  o.cache_capacity = cache_capacity;
+  o.tasks = engine.options().tasks;
+  o.attribute_dim = engine.attribute_dim();
+  o.seed = engine.options().seed;
+  return o;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const CommunitySearchEngine& engine, int num_threads,
+                         int64_t cache_capacity)
+    : QueryServer(CheckedEngineModel(engine),
+                  FromEngineOptions(engine, num_threads, cache_capacity)) {}
+
+SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
+  CGNP_CHECK(request.graph != nullptr) << " SearchRequest without a graph";
+  CGNP_CHECK(request.query >= 0 && request.query < request.graph->num_nodes())
+      << " query node out of range";
+  const auto start = std::chrono::steady_clock::now();
+
+  // Inference never records tape (thread-local switch; see tensor/tensor.h).
+  NoGradGuard no_grad;
+  LocalQueryTask task =
+      BuildQueryTask(*request.graph, request.query, request.support,
+                     options_.tasks, options_.attribute_dim, options_.seed);
+  CGNP_CHECK_EQ(task.graph.feature_dim(), model_->feature_dim())
+      << " request graph features incompatible with the served model";
+
+  SearchResponse resp;
+  const ContextCache::Key key{request.graph_id, TaskFingerprint(task)};
+  Tensor context;
+  if (cache_.Get(key, &context)) {
+    resp.cache_hit = true;
+  } else {
+    context = model_->TaskContext(task.graph, task.support, nullptr);
+    cache_.Put(key, context);
+  }
+
+  // Same decode path as CommunitySearchEngine::Search, so multi-threaded
+  // serving is prediction-identical to single-threaded Search.
+  resp.members = MembersFromContext(*model_, task, context, request.threshold,
+                                    &resp.probs);
+
+  const auto end = std::chrono::steady_clock::now();
+  resp.latency_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (latencies_ms_.size() < kMaxLatencySamples) {
+      latencies_ms_.push_back(resp.latency_ms);
+    } else {
+      latencies_ms_[latency_next_] = resp.latency_ms;
+      latency_next_ = (latency_next_ + 1) % kMaxLatencySamples;
+    }
+    ++stat_requests_;
+    if (resp.cache_hit) ++stat_cache_hits_;
+    if (!window_open_) {
+      window_start_ = start;
+      window_open_ = true;
+    }
+    window_end_ = std::max(window_end_, end);
+  }
+  return resp;
+}
+
+SearchResponse QueryServer::Serve(const SearchRequest& request) {
+  return ServeOne(request);
+}
+
+std::vector<SearchResponse> QueryServer::ServeBatch(
+    const std::vector<SearchRequest>& batch) {
+  std::vector<SearchResponse> responses(batch.size());
+  if (batch.empty()) return responses;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = batch.size();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    pool_.Submit([this, &batch, &responses, &done_mu, &done_cv, &remaining,
+                  i] {
+      responses[i] = ServeOne(batch[i]);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  return responses;
+}
+
+ServerStats QueryServer::Stats() const {
+  ServerStats s;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.requests = stat_requests_;
+    s.cache_hits = stat_cache_hits_;
+    sorted = latencies_ms_;
+    if (window_open_ && s.requests > 0) {
+      const double secs = std::chrono::duration<double>(
+                              window_end_ - window_start_)
+                              .count();
+      s.qps = secs > 0 ? static_cast<double>(s.requests) / secs : 0.0;
+    }
+  }
+  s.cache_misses = s.requests - s.cache_hits;
+  s.cache_hit_rate =
+      s.requests > 0
+          ? static_cast<double>(s.cache_hits) / static_cast<double>(s.requests)
+          : 0.0;
+  if (!sorted.empty()) {
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0;
+    for (double v : sorted) sum += v;
+    s.mean_ms = sum / static_cast<double>(sorted.size());
+    s.p50_ms = PercentileOf(sorted, 0.50);
+    s.p90_ms = PercentileOf(sorted, 0.90);
+    s.p99_ms = PercentileOf(sorted, 0.99);
+    s.max_ms = sorted.back();
+  }
+  return s;
+}
+
+void QueryServer::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_ms_.clear();
+  latency_next_ = 0;
+  stat_requests_ = 0;
+  stat_cache_hits_ = 0;
+  window_open_ = false;
+  window_start_ = window_end_ = std::chrono::steady_clock::time_point{};
+}
+
+}  // namespace serve
+}  // namespace cgnp

@@ -1,0 +1,138 @@
+// Multi-threaded batched inference server over a trained CGNP model.
+//
+// The serving pipeline per request mirrors CommunitySearchEngine::Search
+// exactly (both build queries through BuildQueryTask with the same seed),
+// so a multi-threaded server returns results identical to single-threaded
+// Search. On top of that it adds:
+//   * a context cache (see context_cache.h): repeated queries against the
+//     same community reuse one encoder pass -- the paper's Algorithm 2
+//     asymmetry (encode support once, decode queries cheaply) made explicit
+//     at the system level;
+//   * a worker pool: every request runs under a thread-local NoGradGuard
+//     against an eval-mode model, the regime core/cgnp.h documents as safe
+//     for concurrent const access;
+//   * per-server statistics: throughput, latency percentiles and cache
+//     effectiveness, for capacity planning and the serving benchmarks.
+//
+// Typical use (see examples/train_and_serve.cpp):
+//   auto engine = CommunitySearchEngine::LoadCheckpoint("model.ckpt");
+//   QueryServer server(engine, /*num_threads=*/8, /*cache_capacity=*/256);
+//   auto responses = server.ServeBatch(requests);
+#ifndef CGNP_SERVE_QUERY_SERVER_H_
+#define CGNP_SERVE_QUERY_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/context_cache.h"
+#include "serve/thread_pool.h"
+
+namespace cgnp {
+namespace serve {
+
+// One community-search query. `graph` must stay alive until the response
+// is returned; `graph_id` namespaces the context cache (give distinct ids
+// to distinct graphs -- entries never collide across ids).
+struct SearchRequest {
+  const Graph* graph = nullptr;
+  uint64_t graph_id = 0;
+  NodeId query = -1;
+  // Labelled support observations in `graph`'s node ids; empty = the
+  // zero-shot setting (the query conditions the context alone).
+  std::vector<QueryExample> support;
+  float threshold = 0.5f;
+};
+
+struct SearchResponse {
+  // Predicted community members in the request graph's ids (always
+  // contains the query node), with the model's membership probability
+  // aligned per member.
+  std::vector<NodeId> members;
+  std::vector<float> probs;
+  double latency_ms = 0.0;
+  bool cache_hit = false;  // context served from the cache
+};
+
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  // hits / requests
+  double qps = 0.0;             // requests / wall-time over the serving window
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ServeOptions {
+  int num_threads = 4;
+  // Max cached contexts; 0 disables the cache (every request re-encodes).
+  int64_t cache_capacity = 256;
+  // Task materialisation parameters -- must match the values the model was
+  // trained under for the subgraph distribution to be in-distribution.
+  TaskConfig tasks;
+  int64_t attribute_dim = 0;
+  // Seed for the deterministic BFS task sampling; use the engine's seed to
+  // make server responses identical to engine.Search.
+  uint64_t seed = 7;
+};
+
+class QueryServer {
+ public:
+  // `model` must outlive the server, be fully trained, and be in eval
+  // mode (trainers and checkpoint loading both leave it there).
+  QueryServer(const CgnpModel* model, ServeOptions options);
+  // Convenience: serve a trained engine, inheriting its task config,
+  // attribute dimensionality and seed (response parity with Search).
+  QueryServer(const CommunitySearchEngine& engine, int num_threads,
+              int64_t cache_capacity = 256);
+  ~QueryServer() = default;
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Serves one request synchronously on the calling thread.
+  SearchResponse Serve(const SearchRequest& request);
+
+  // Serves a batch across the worker pool; blocks until every response is
+  // ready. Responses are positionally aligned with the requests.
+  std::vector<SearchResponse> ServeBatch(
+      const std::vector<SearchRequest>& batch);
+
+  ServerStats Stats() const;
+  void ResetStats();
+
+  const ServeOptions& options() const { return options_; }
+  ContextCache& cache() { return cache_; }
+
+ private:
+  SearchResponse ServeOne(const SearchRequest& request);
+
+  const CgnpModel* const model_;
+  const ServeOptions options_;
+  ContextCache cache_;
+  ThreadPool pool_;
+
+  // Serving-window stats; guarded by stats_mu_. Latency samples live in a
+  // bounded ring (most recent kMaxLatencySamples requests) so a
+  // long-lived server's memory and Stats() cost stay constant; request /
+  // hit counters cover the whole window.
+  static constexpr size_t kMaxLatencySamples = 16384;
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_ms_;  // ring once full
+  size_t latency_next_ = 0;           // ring write position
+  uint64_t stat_requests_ = 0;
+  uint64_t stat_cache_hits_ = 0;
+  std::chrono::steady_clock::time_point window_start_{};
+  std::chrono::steady_clock::time_point window_end_{};
+  bool window_open_ = false;
+};
+
+}  // namespace serve
+}  // namespace cgnp
+
+#endif  // CGNP_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,46 @@
+// Fixed-size worker pool used by the query server. Deliberately minimal:
+// a mutex-guarded FIFO queue and N workers; no work stealing, no priorities.
+// Community-search inference tasks are coarse (milliseconds each), so queue
+// contention is negligible against the work itself.
+#ifndef CGNP_SERVE_THREAD_POOL_H_
+#define CGNP_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgnp {
+namespace serve {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  // Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` for execution on some worker. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace cgnp
+
+#endif  // CGNP_SERVE_THREAD_POOL_H_

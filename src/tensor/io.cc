@@ -1,0 +1,95 @@
+#include "tensor/io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace cgnp {
+namespace io {
+
+namespace {
+
+template <typename T>
+void WriteRaw(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  CGNP_CHECK(out.good()) << " short write";
+}
+
+template <typename T>
+T ReadRaw(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CGNP_CHECK(in.good()) << " short read";
+  return v;
+}
+
+}  // namespace
+
+void WriteU32(std::ostream& out, uint32_t v) { WriteRaw(out, v); }
+void WriteU64(std::ostream& out, uint64_t v) { WriteRaw(out, v); }
+void WriteI64(std::ostream& out, int64_t v) { WriteRaw(out, v); }
+void WriteF32(std::ostream& out, float v) { WriteRaw(out, v); }
+
+void WriteFloats(std::ostream& out, const float* data, int64_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  CGNP_CHECK(out.good()) << " short write of " << n << " floats";
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  CGNP_CHECK(out.good()) << " short write of string";
+}
+
+uint32_t ReadU32(std::istream& in) { return ReadRaw<uint32_t>(in); }
+uint64_t ReadU64(std::istream& in) { return ReadRaw<uint64_t>(in); }
+int64_t ReadI64(std::istream& in) { return ReadRaw<int64_t>(in); }
+float ReadF32(std::istream& in) { return ReadRaw<float>(in); }
+
+void ReadFloats(std::istream& in, float* data, int64_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  CGNP_CHECK(in.good()) << " short read of " << n << " floats";
+}
+
+std::string ReadString(std::istream& in) {
+  const uint32_t len = ReadU32(in);
+  std::string s(len, '\0');
+  if (len > 0) {
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    CGNP_CHECK(in.good()) << " short read of string";
+  }
+  return s;
+}
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  CGNP_CHECK(t.Defined()) << " cannot serialise a null tensor";
+  WriteU32(out, static_cast<uint32_t>(t.shape().size()));
+  for (int64_t d : t.shape()) WriteI64(out, d);
+  WriteFloats(out, t.data(), t.numel());
+}
+
+void ReadTensorInto(std::istream& in, Tensor* t) {
+  CGNP_CHECK(t != nullptr && t->Defined());
+  const uint32_t rank = ReadU32(in);
+  CGNP_CHECK_EQ(rank, static_cast<uint32_t>(t->shape().size()))
+      << " checkpoint tensor rank mismatch";
+  for (int64_t d : t->shape()) {
+    CGNP_CHECK_EQ(ReadI64(in), d) << " checkpoint tensor dim mismatch";
+  }
+  ReadFloats(in, t->data(), t->numel());
+}
+
+Tensor ReadTensor(std::istream& in, bool requires_grad) {
+  const uint32_t rank = ReadU32(in);
+  Shape shape(rank);
+  for (uint32_t i = 0; i < rank; ++i) shape[i] = ReadI64(in);
+  Tensor t = Tensor::Zeros(shape, requires_grad);
+  ReadFloats(in, t.data(), t.numel());
+  return t;
+}
+
+}  // namespace io
+}  // namespace cgnp

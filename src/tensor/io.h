@@ -1,0 +1,47 @@
+// Binary IO helpers shared by every checkpoint format in the library.
+//
+// All integers are written in host byte order (little-endian on every
+// platform we target); checkpoint headers carry a magic number so a
+// mismatched-endian or corrupt file fails loudly instead of loading
+// garbage. Streams are checked after every primitive: a short read or
+// write aborts via CGNP_CHECK, matching the library's no-exceptions
+// error philosophy.
+#ifndef CGNP_TENSOR_IO_H_
+#define CGNP_TENSOR_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace cgnp {
+namespace io {
+
+void WriteU32(std::ostream& out, uint32_t v);
+void WriteU64(std::ostream& out, uint64_t v);
+void WriteI64(std::ostream& out, int64_t v);
+void WriteF32(std::ostream& out, float v);
+void WriteFloats(std::ostream& out, const float* data, int64_t n);
+// Length-prefixed (u32) raw bytes.
+void WriteString(std::ostream& out, const std::string& s);
+
+uint32_t ReadU32(std::istream& in);
+uint64_t ReadU64(std::istream& in);
+int64_t ReadI64(std::istream& in);
+float ReadF32(std::istream& in);
+void ReadFloats(std::istream& in, float* data, int64_t n);
+std::string ReadString(std::istream& in);
+
+// Tensor payload: u32 rank, i64 dims, then raw f32 data.
+void WriteTensor(std::ostream& out, const Tensor& t);
+// Reads a tensor payload into an existing tensor, aborting unless the
+// stored shape matches `t` exactly (structure validation on load).
+void ReadTensorInto(std::istream& in, Tensor* t);
+// Reads a tensor payload into a freshly allocated tensor.
+Tensor ReadTensor(std::istream& in, bool requires_grad = false);
+
+}  // namespace io
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_IO_H_

@@ -1,0 +1,240 @@
+#include "serve/query_server.h"
+
+#include <atomic>
+#include <set>
+
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "serve/context_cache.h"
+#include "serve/thread_pool.h"
+
+namespace cgnp {
+namespace {
+
+using serve::ContextCache;
+using serve::QueryServer;
+using serve::SearchRequest;
+using serve::SearchResponse;
+using serve::ServeOptions;
+using serve::TaskFingerprint;
+using serve::ThreadPool;
+
+Graph PlantedGraph(uint64_t seed = 1) {
+  Rng rng(seed);
+  SyntheticConfig cfg;
+  cfg.num_nodes = 500;
+  cfg.num_communities = 5;
+  cfg.intra_degree = 12;
+  cfg.inter_degree = 1.5;
+  cfg.attribute_dim = 16;
+  cfg.attrs_per_node = 3;
+  cfg.attrs_per_community_pool = 5;
+  cfg.attr_affinity = 0.9;
+  return GenerateSyntheticGraph(cfg, &rng);
+}
+
+CommunitySearchEngine TrainedEngine(const Graph& g) {
+  CommunitySearchEngine::Options opt;
+  opt.model.encoder = GnnKind::kGcn;
+  opt.model.hidden_dim = 16;
+  opt.model.num_layers = 2;
+  opt.model.epochs = 4;
+  opt.model.lr = 5e-3f;
+  opt.tasks.subgraph_size = 80;
+  opt.tasks.shots = 2;
+  opt.tasks.query_set_size = 6;
+  opt.num_train_tasks = 6;
+  CommunitySearchEngine engine(opt);
+  engine.Fit(g);
+  return engine;
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ContextCacheTest, LruEvictionAndCounters) {
+  ContextCache cache(2);
+  const ContextCache::Key a{1, 10}, b{1, 20}, c{1, 30};
+  Tensor out;
+  EXPECT_FALSE(cache.Get(a, &out));
+  cache.Put(a, Tensor::Full({2}, 1.0f));
+  cache.Put(b, Tensor::Full({2}, 2.0f));
+  ASSERT_TRUE(cache.Get(a, &out));  // promotes a over b
+  EXPECT_EQ(out.At(0), 1.0f);
+  cache.Put(c, Tensor::Full({2}, 3.0f));  // evicts b (LRU)
+  EXPECT_FALSE(cache.Get(b, &out));
+  EXPECT_TRUE(cache.Get(a, &out));
+  EXPECT_TRUE(cache.Get(c, &out));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ContextCacheTest, ZeroCapacityDisablesCaching) {
+  ContextCache cache(0);
+  cache.Put({1, 10}, Tensor::Full({2}, 1.0f));
+  Tensor out;
+  EXPECT_FALSE(cache.Get({1, 10}, &out));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(ContextCacheTest, GraphIdNamespacesEntries) {
+  ContextCache cache(4);
+  cache.Put({1, 10}, Tensor::Full({2}, 1.0f));
+  Tensor out;
+  EXPECT_FALSE(cache.Get({2, 10}, &out)) << "same fingerprint, other graph";
+  EXPECT_TRUE(cache.Get({1, 10}, &out));
+}
+
+TEST(ContextCacheTest, TaskFingerprintSeparatesTasks) {
+  Graph g = PlantedGraph();
+  int32_t max_attr = -1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int32_t a : g.Attributes(v)) max_attr = std::max(max_attr, a);
+  }
+  const int64_t attr_dim = max_attr + 1;
+  TaskConfig tasks;
+  tasks.subgraph_size = 60;
+  const LocalQueryTask t1 = BuildQueryTask(g, 3, {}, tasks, attr_dim, 7);
+  const LocalQueryTask t1_again = BuildQueryTask(g, 3, {}, tasks, attr_dim, 7);
+  const LocalQueryTask t2 = BuildQueryTask(g, 4, {}, tasks, attr_dim, 7);
+  EXPECT_EQ(TaskFingerprint(t1), TaskFingerprint(t1_again));
+  EXPECT_NE(TaskFingerprint(t1), TaskFingerprint(t2));
+
+  // A support observation with extra positives changes the conditioning,
+  // so it must change the fingerprint even over the identical subgraph.
+  QueryExample obs;
+  obs.query = 3;
+  obs.pos = t1.nodes.size() > 1 ? std::vector<NodeId>{t1.nodes[1]}
+                                : std::vector<NodeId>{};
+  const LocalQueryTask t1_supported =
+      BuildQueryTask(g, 3, {obs}, tasks, attr_dim, 7);
+  EXPECT_EQ(t1.nodes, t1_supported.nodes);
+  EXPECT_NE(TaskFingerprint(t1), TaskFingerprint(t1_supported));
+}
+
+TEST(ContextCacheTest, OutOfRangeSupportIdAborts) {
+  Graph g = PlantedGraph();
+  int32_t max_attr = -1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int32_t a : g.Attributes(v)) max_attr = std::max(max_attr, a);
+  }
+  TaskConfig tasks;
+  tasks.subgraph_size = 60;
+  QueryExample obs;
+  obs.query = g.num_nodes() + 5;  // malformed external request
+  EXPECT_DEATH(BuildQueryTask(g, 3, {obs}, tasks, max_attr + 1, 7),
+               "support node id out of range");
+}
+
+TEST(QueryServerTest, CachedContextIdenticalToFresh) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/2, /*cache_capacity=*/16);
+
+  SearchRequest req;
+  req.graph = &g;
+  req.graph_id = 1;
+  req.query = 17;
+  const SearchResponse fresh = server.Serve(req);
+  EXPECT_FALSE(fresh.cache_hit);
+  const SearchResponse cached = server.Serve(req);
+  EXPECT_TRUE(cached.cache_hit);
+
+  // Cached vs freshly encoded context must produce identical predictions.
+  ASSERT_EQ(fresh.members, cached.members);
+  ASSERT_EQ(fresh.probs.size(), cached.probs.size());
+  for (size_t i = 0; i < fresh.probs.size(); ++i) {
+    EXPECT_EQ(fresh.probs[i], cached.probs[i]);  // bitwise
+  }
+}
+
+TEST(QueryServerTest, MatchesSingleThreadedEngineSearch) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/4);
+
+  std::vector<SearchRequest> batch;
+  for (NodeId q = 0; q < 40; ++q) {
+    SearchRequest req;
+    req.graph = &g;
+    req.graph_id = 1;
+    req.query = q;
+    batch.push_back(req);
+  }
+  const auto responses = server.ServeBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(responses[i].members, engine.Search(g, batch[i].query))
+        << "multi-threaded serving diverged from Search on query "
+        << batch[i].query;
+  }
+}
+
+TEST(QueryServerTest, SupportedQueriesMatchEngineSearch) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/2);
+
+  const NodeId q = 42;
+  QueryExample obs;
+  obs.query = q;
+  const int64_t community = g.CommunityOf(q);
+  for (NodeId v = 0; v < g.num_nodes() && obs.pos.size() < 5; ++v) {
+    if (v != q && g.CommunityOf(v) == community) obs.pos.push_back(v);
+  }
+  SearchRequest req;
+  req.graph = &g;
+  req.query = q;
+  req.support = {obs};
+  EXPECT_EQ(server.Serve(req).members, engine.Search(g, q, {obs}));
+}
+
+TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/4, /*cache_capacity=*/64);
+
+  // 3 distinct queries, each asked 4 times: 3 misses, 9 hits.
+  std::vector<SearchRequest> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (NodeId q : {NodeId(5), NodeId(6), NodeId(7)}) {
+      SearchRequest req;
+      req.graph = &g;
+      req.graph_id = 1;
+      req.query = q;
+      batch.push_back(req);
+    }
+  }
+  const auto responses = server.ServeBatch(batch);
+  // Identical requests must agree regardless of which thread / cache state
+  // served them.
+  for (size_t i = 3; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].members, responses[i % 3].members);
+  }
+
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.requests, batch.size());
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, batch.size());
+  // Concurrent first-time requests may race to encode the same context, so
+  // hits can land anywhere in [6, 9] -- but misses never exceed 2x distinct.
+  EXPECT_GE(stats.cache_hits, 6u);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+  EXPECT_GE(stats.max_ms, stats.p99_ms);
+
+  server.ResetStats();
+  EXPECT_EQ(server.Stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace cgnp
