@@ -3,12 +3,20 @@
 // generators.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "data/synthetic.h"
 #include "graph/algorithms.h"
 #include "graph/sampling.h"
 
 namespace cgnp {
 namespace {
+
+// Serial by default so historical numbers stay comparable; the thread-sweep
+// benchmark sets its own count and restores 1 on exit.
+const int kForceSerialDefault = [] {
+  set_num_threads(1);
+  return 1;
+}();
 
 Graph MakeGraph(int64_t n, double degree = 10.0) {
   Rng rng(42);
@@ -66,6 +74,30 @@ void BM_InducedSubgraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InducedSubgraph)->Arg(200)->Arg(2000);
+
+void BM_GraphBuildThreadSweep(benchmark::State& state) {
+  // CSR construction (count + scatter + per-node sort/dedup + compaction)
+  // from a messy edge list with duplicates and self loops; the per-node
+  // sort phase is the parallel part (common/parallel.h).
+  const int threads = static_cast<int>(state.range(0));
+  const int64_t n = 50000;
+  Rng rng(21);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(n * 12);
+  for (int64_t i = 0; i < n * 12; ++i) {
+    edges.emplace_back(rng.NextInt(n), rng.NextInt(n));
+  }
+  set_num_threads(threads);
+  for (auto _ : state) {
+    GraphBuilder b(n);
+    for (auto [u, v] : edges) b.AddEdge(u, v);
+    benchmark::DoNotOptimize(b.Build().num_edges());
+  }
+  set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(edges.size()));
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_GraphBuildThreadSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_SyntheticGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,13 +1,26 @@
 // Google-benchmark microbenchmarks for the tensor/autograd substrate: the
 // inner-loop operations every training step in the library is built from.
+//
+// The *ThreadSweep benchmarks pin the global kernel thread count per run
+// (common/parallel.h) and use real time, so comparing the threads=1 and
+// threads=N rows gives the intra-op speedup directly; all other benchmarks
+// run serial (threads=1) so historical numbers stay comparable.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 
 namespace cgnp {
 namespace {
+
+// Serial by default: each benchmark that wants parallel kernels sets the
+// thread count itself and restores 1 on exit.
+const int kForceSerialDefault = [] {
+  set_num_threads(1);
+  return 1;
+}();
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -69,6 +82,75 @@ void BM_SegmentSoftmax(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SegmentSoftmax)->Arg(1000)->Arg(10000);
+
+// The large synthetic graph of docs/BENCHMARKS.md: 20k nodes, ~16 directed
+// random edges per node, 64-dim features -- big enough that one SpMM is
+// several hundred kParallelCutoff units of work.
+Graph LargeSyntheticGraph() {
+  const int64_t n = 20000;
+  GraphBuilder builder(n);
+  Rng rng(13);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int j = 0; j < 16; ++j) builder.AddEdge(v, rng.NextInt(n));
+  }
+  return builder.Build();
+}
+
+void BM_SpMMThreadSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Graph g = LargeSyntheticGraph();
+  const SparseMatrix& a = g.GcnAdjacency();
+  Rng rng(14);
+  const int64_t d = 64;
+  Tensor x = Tensor::Randn({a.cols(), d}, &rng);
+  std::vector<float> y(a.rows() * d);
+  set_num_threads(threads);
+  for (auto _ : state) {
+    a.Multiply(x.data(), d, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * a.nnz() * d);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SpMMThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SpMMBackwardThreadSweep(benchmark::State& state) {
+  // Forward + backward through the tape: the mean adjacency is asymmetric,
+  // so backward multiplies by the materialised A^T (also row-parallel).
+  const int threads = static_cast<int>(state.range(0));
+  Graph g = LargeSyntheticGraph();
+  const SparseMatrix& a = g.MeanAdjacency();
+  Rng rng(15);
+  const int64_t d = 64;
+  Tensor x = Tensor::Randn({a.cols(), d}, &rng, 1.0f, /*requires_grad=*/true);
+  set_num_threads(threads);
+  for (auto _ : state) {
+    Tensor loss = Sum(SpMM(a, x));
+    loss.Backward();
+    x.ZeroGrad();
+  }
+  set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * a.nnz() * d * 2);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SpMMBackwardThreadSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_MatMulThreadSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(16);
+  const int64_t n = 256;
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  set_num_threads(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  set_num_threads(1);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_AdamStep(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "meta/aqd_gnn.h"
 #include "meta/classical.h"
 #include "meta/feat_trans.h"
@@ -74,6 +75,9 @@ BenchOptions ParseOptions(int argc, char** argv) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.kernel_threads = static_cast<int>(std::strtol(arg.c_str() + 10,
+                                                        nullptr, 10));
     } else if (arg.rfind("--datasets=", 0) == 0) {
       std::stringstream ss(arg.substr(11));
       std::string item;
@@ -83,7 +87,8 @@ BenchOptions ParseOptions(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\nusage: %s [--scale=small|paper] "
-                   "[--seed=N] [--datasets=a,b,...] [--csv=path]\n",
+                   "[--seed=N] [--threads=N] [--datasets=a,b,...] "
+                   "[--csv=path]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -91,6 +96,10 @@ BenchOptions ParseOptions(int argc, char** argv) {
   ApplyScale(&opt);
   opt.method.seed = opt.seed;
   opt.cgnp.seed = opt.seed;
+  // Pin the kernel thread count (default 1) so timing rows are comparable
+  // across machines and with pre-parallelism runs unless the caller opts
+  // into intra-op scaling explicitly.
+  set_num_threads(opt.kernel_threads);
   return opt;
 }
 

@@ -3,6 +3,9 @@
 //   --scale=small|paper   (default small: CPU-sized; paper: Section VII-A
 //                          parameters -- expect hours on CPU)
 //   --seed=N              (default 1)
+//   --threads=N           (default 1: serial kernels, comparable with
+//                          historical runs; N>1 enables intra-op
+//                          ParallelFor via set_num_threads)
 //   --datasets=a,b,...    (optional filter by dataset name)
 #ifndef CGNP_BENCH_HARNESS_H_
 #define CGNP_BENCH_HARNESS_H_
@@ -24,6 +27,9 @@ namespace bench {
 struct BenchOptions {
   bool paper_scale = false;
   uint64_t seed = 1;
+  // Intra-op kernel threads (set_num_threads); 1 keeps timings comparable
+  // with serial-era runs. ParseOptions applies it.
+  int kernel_threads = 1;
   std::vector<std::string> dataset_filter;  // empty = all
   // When non-empty, every result row is appended to this CSV file
   // (columns: context, method, accuracy, precision, recall, f1, train_ms,

@@ -1,0 +1,136 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace cgnp {
+
+namespace {
+
+// Thread-count and pool state. The hot read path (ShouldParallelize, pool
+// lookup) is lock-free: configured_threads and the raw pool pointer are
+// atomics. pool_mu serialises the cold paths only -- pool creation and
+// set_num_threads -- and owns the pool storage.
+std::mutex pool_mu;
+std::atomic<int> configured_threads{0};  // 0 = resolve from hardware on use
+std::unique_ptr<ThreadPool> kernel_pool;          // guarded by pool_mu
+std::atomic<ThreadPool*> kernel_pool_ptr{nullptr};  // published for readers
+
+// True while this thread is executing a ParallelFor chunk; nested parallel
+// regions run inline (see header).
+thread_local bool in_parallel_region = false;
+
+int ResolveDefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int LoadThreads() {
+  int t = configured_threads.load(std::memory_order_relaxed);
+  if (t == 0) {
+    // Benign race: every contender computes the same hardware value.
+    t = ResolveDefaultThreads();
+    int expected = 0;
+    if (!configured_threads.compare_exchange_strong(
+            expected, t, std::memory_order_relaxed)) {
+      t = expected;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int num_threads() { return LoadThreads(); }
+
+void set_num_threads(int n) {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu);
+    configured_threads.store(std::max(1, n), std::memory_order_relaxed);
+    kernel_pool_ptr.store(nullptr, std::memory_order_release);
+    old = std::move(kernel_pool);
+  }
+  // Destroyed outside the lock: the destructor drains queued chunks, which
+  // must not block new (inline) kernel work. Callers must not race
+  // set_num_threads with in-flight kernels (see header).
+}
+
+namespace internal {
+
+bool ShouldParallelize(int64_t range, int64_t grain) {
+  // Two full grains minimum: with fewer, the only legal partition is a
+  // single chunk, so dispatching would pay fan-out overhead for nothing.
+  return !in_parallel_region && range >= 2 * grain && LoadThreads() > 1;
+}
+
+RegionGuard::RegionGuard() : prev_(in_parallel_region) {
+  in_parallel_region = true;
+}
+
+RegionGuard::~RegionGuard() { in_parallel_region = prev_; }
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  const int64_t threads = LoadThreads();
+  ThreadPool* pool = kernel_pool_ptr.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    std::lock_guard<std::mutex> lock(pool_mu);
+    if (!kernel_pool) {
+      // threads - 1 workers: the calling thread is the Nth compute thread
+      // (it pulls chunks below), so a fan-out never oversubscribes.
+      kernel_pool =
+          std::make_unique<ThreadPool>(static_cast<int>(threads) - 1);
+      kernel_pool_ptr.store(kernel_pool.get(), std::memory_order_release);
+    }
+    pool = kernel_pool.get();
+  }
+
+  // Chunk boundaries are a pure function of (range, grain, threads) -- that
+  // is what makes results reproducible -- while chunk-to-thread assignment
+  // is dynamic (shared counter): which thread runs a chunk cannot affect
+  // the output because chunks write disjoint locations. Mild over-splitting
+  // (4 chunks per thread) absorbs per-row cost skew. max_chunks floors so
+  // every chunk carries at least `grain` indices (the header's contract):
+  // chunk_size = ceil(range / chunks) >= range / max_chunks >= grain.
+  const int64_t max_chunks = range / grain;
+  const int64_t chunks = std::min<int64_t>(max_chunks, threads * 4);
+  const int64_t chunk_size = (range + chunks - 1) / chunks;
+  const int64_t actual_chunks = (range + chunk_size - 1) / chunk_size;
+
+  std::atomic<int64_t> next_chunk{0};
+  const auto run_chunks = [&] {
+    RegionGuard guard;
+    for (;;) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= actual_chunks) return;
+      const int64_t lo = begin + c * chunk_size;
+      fn(lo, std::min(end, lo + chunk_size));
+    }
+  };
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const int64_t helpers =
+      std::min<int64_t>(threads - 1, actual_chunks - 1);
+  int64_t active = helpers;
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool->Submit([&run_chunks, &done_mu, &done_cv, &active] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--active == 0) done_cv.notify_one();
+    });
+  }
+  run_chunks();  // the calling thread pulls chunks too
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&active] { return active == 0; });
+}
+
+}  // namespace internal
+}  // namespace cgnp

@@ -1,0 +1,109 @@
+// Intra-op parallelism for the tensor / graph kernels.
+//
+// ParallelFor splits a [begin, end) index range into contiguous chunks and
+// runs them on a lazily-created process-global kernel pool. The design rules,
+// chosen so that parallel kernels are drop-in replacements for the serial
+// loops they wrap:
+//
+//   * Determinism. Chunk boundaries are a pure function of (range, grain,
+//     num_threads) -- never of scheduling -- and callers partition by output
+//     row/element so every output location is written by exactly one chunk,
+//     in the same order as the serial loop. No atomics, no reduction
+//     reordering: results are bitwise identical for any thread count.
+//   * Grain-size control. `grain` is the minimum number of indices per
+//     chunk; ranges shorter than two grains run inline on the calling
+//     thread, so small tensors never pay for a queue round-trip. GrainForWork
+//     converts an estimated per-index cost into a grain targeting
+//     kParallelCutoff units of work per chunk.
+//   * Cheap inline path. ParallelFor is a template: deciding "stay serial"
+//     costs one thread-local test and one atomic load -- no std::function
+//     erasure, no lock -- so sprinkling it over small ops is free. Type
+//     erasure and the (briefly held) pool lock are paid only when a range
+//     actually fans out.
+//   * Nesting. A ParallelFor issued from inside a ParallelFor chunk (or any
+//     kernel-pool worker) runs inline. This keeps the pool deadlock-free and
+//     makes kernels composable: outer parallelism (e.g. the query server's
+//     per-request pool in src/serve) freely calls parallel kernels.
+//   * Grad-mode safety. Chunk bodies are raw float loops; autograd tape
+//     wiring stays on the calling thread, so the thread-local grad mode of
+//     pool workers is never consulted (see the contract in core/cgnp.h).
+//
+// The global thread count defaults to the hardware concurrency and is
+// adjusted with set_num_threads(); 1 restores fully serial execution.
+#ifndef CGNP_COMMON_PARALLEL_H_
+#define CGNP_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace cgnp {
+
+// Number of threads parallel kernels may use (>= 1). First use resolves the
+// default from std::thread::hardware_concurrency().
+int num_threads();
+
+// Sets the global kernel thread count (clamped to >= 1) and tears down the
+// old pool after its queued chunks drain. Do not call concurrently with
+// in-flight kernels; call it at configuration time (benchmarks, server
+// startup, tests).
+void set_num_threads(int n);
+
+namespace internal {
+
+// True when a range of `range` indices at this grain should fan out to the
+// pool: more than one grain of work, >1 configured threads, and not already
+// inside a parallel region on this thread. Lock-free.
+bool ShouldParallelize(int64_t range, int64_t grain);
+
+// Marks this thread as inside a parallel region for its lifetime, restoring
+// the previous state on destruction (nested regions therefore stay inline).
+class RegionGuard {
+ public:
+  RegionGuard();
+  ~RegionGuard();
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Slow path: type-erases fn and dispatches chunks to the kernel pool.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace internal
+
+// Invokes fn(lo, hi) over disjoint subranges covering [begin, end), each at
+// least `grain` indices (except possibly the last). fn runs on the calling
+// thread and on kernel-pool workers; ParallelFor returns only after every
+// chunk finished. fn must not touch autograd state and must write disjoint
+// outputs per index.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(1, grain);
+  if (!internal::ShouldParallelize(end - begin, grain)) {
+    internal::RegionGuard guard;
+    std::forward<Fn>(fn)(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, fn);
+}
+
+// Approximate number of float operations below which forking to the pool
+// costs more than it saves (queue round-trip + wake-up, measured on the
+// micro benches).
+inline constexpr int64_t kParallelCutoff = 16384;
+
+// Grain for a loop whose per-index cost is ~`work_per_item` float ops:
+// chunks target kParallelCutoff units of work each.
+inline int64_t GrainForWork(int64_t work_per_item) {
+  return std::max<int64_t>(1, kParallelCutoff / std::max<int64_t>(1, work_per_item));
+}
+
+}  // namespace cgnp
+
+#endif  // CGNP_COMMON_PARALLEL_H_

@@ -1,9 +1,8 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
 namespace cgnp {
-namespace serve {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -44,5 +43,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace serve
 }  // namespace cgnp

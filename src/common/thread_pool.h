@@ -1,9 +1,15 @@
-// Fixed-size worker pool used by the query server. Deliberately minimal:
-// a mutex-guarded FIFO queue and N workers; no work stealing, no priorities.
-// Community-search inference tasks are coarse (milliseconds each), so queue
-// contention is negligible against the work itself.
-#ifndef CGNP_SERVE_THREAD_POOL_H_
-#define CGNP_SERVE_THREAD_POOL_H_
+// Fixed-size worker pool. Deliberately minimal: a mutex-guarded FIFO queue
+// and N workers; no work stealing, no priorities.
+//
+// Two kinds of pool live in the library, both built on this class:
+//   * the query server's inter-query pool (src/serve/query_server.h), whose
+//     tasks are coarse whole-request closures (milliseconds each), and
+//   * the process-global intra-op kernel pool behind ParallelFor
+//     (common/parallel.h), whose tasks are contiguous row/element chunks of
+//     one tensor kernel.
+// In both regimes the work dwarfs the queue contention.
+#ifndef CGNP_COMMON_THREAD_POOL_H_
+#define CGNP_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <deque>
@@ -13,7 +19,6 @@
 #include <vector>
 
 namespace cgnp {
-namespace serve {
 
 class ThreadPool {
  public:
@@ -40,7 +45,6 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace serve
 }  // namespace cgnp
 
-#endif  // CGNP_SERVE_THREAD_POOL_H_
+#endif  // CGNP_COMMON_THREAD_POOL_H_

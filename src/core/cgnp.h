@@ -35,6 +35,12 @@ namespace cgnp {
 // passes its own Graph whose lazily-built adjacency caches are private to
 // it (or pre-warmed before sharing). QueryServer in src/serve enforces
 // all four.
+//
+// Intra-op parallelism (common/parallel.h) does not weaken this contract:
+// kernel-pool workers execute raw float chunk loops only -- tape wiring and
+// grad-mode queries stay on the thread that called the op -- and a kernel
+// issued from inside another parallel region runs inline, so the server's
+// inter-query pool composes safely with ParallelFor.
 class CgnpModel : public Module {
  public:
   CgnpModel(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cgnp {
 
@@ -43,34 +44,39 @@ const SparseMatrix& Graph::GcnAdjacency() const {
   // A_hat = D^{-1/2} (A + I) D^{-1/2}, with D the degree of (A + I).
   const int64_t n = num_nodes_;
   std::vector<float> inv_sqrt_deg(n);
-  for (NodeId v = 0; v < n; ++v) {
-    inv_sqrt_deg[v] = 1.0f / std::sqrt(static_cast<float>(Degree(v) + 1));
-  }
+  ParallelFor(0, n, /*grain=*/1024, [&](int64_t lo, int64_t hi) {
+    for (NodeId v = lo; v < hi; ++v) {
+      inv_sqrt_deg[v] = 1.0f / std::sqrt(static_cast<float>(Degree(v) + 1));
+    }
+  });
   std::vector<int64_t> rp(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) rp[v + 1] = rp[v] + Degree(v) + 1;
   std::vector<int64_t> ci(rp[n]);
   std::vector<float> vals(rp[n]);
-  for (NodeId v = 0; v < n; ++v) {
-    int64_t pos = rp[v];
-    bool self_placed = false;
-    for (NodeId u : Neighbors(v)) {
-      if (!self_placed && u > v) {
+  // Each node fills its own [rp[v], rp[v+1]) slice -- disjoint per chunk.
+  ParallelFor(0, n, /*grain=*/256, [&](int64_t lo, int64_t hi) {
+    for (NodeId v = lo; v < hi; ++v) {
+      int64_t pos = rp[v];
+      bool self_placed = false;
+      for (NodeId u : Neighbors(v)) {
+        if (!self_placed && u > v) {
+          ci[pos] = v;
+          vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
+          ++pos;
+          self_placed = true;
+        }
+        ci[pos] = u;
+        vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[u];
+        ++pos;
+      }
+      if (!self_placed) {
         ci[pos] = v;
         vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
         ++pos;
-        self_placed = true;
       }
-      ci[pos] = u;
-      vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[u];
-      ++pos;
+      CGNP_CHECK_EQ(pos, rp[v + 1]);
     }
-    if (!self_placed) {
-      ci[pos] = v;
-      vals[pos] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
-      ++pos;
-    }
-    CGNP_CHECK_EQ(pos, rp[v + 1]);
-  }
+  });
   gcn_adj_ = SparseMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
   gcn_adj_.set_is_symmetric(true);
   gcn_adj_built_ = true;
@@ -83,10 +89,13 @@ const SparseMatrix& Graph::MeanAdjacency() const {
   std::vector<int64_t> rp(row_ptr_);
   std::vector<int64_t> ci(col_idx_.begin(), col_idx_.end());
   std::vector<float> vals(ci.size());
-  for (NodeId v = 0; v < n; ++v) {
-    const float inv = Degree(v) > 0 ? 1.0f / static_cast<float>(Degree(v)) : 0.0f;
-    for (int64_t e = rp[v]; e < rp[v + 1]; ++e) vals[e] = inv;
-  }
+  ParallelFor(0, n, /*grain=*/512, [&](int64_t lo, int64_t hi) {
+    for (NodeId v = lo; v < hi; ++v) {
+      const float inv =
+          Degree(v) > 0 ? 1.0f / static_cast<float>(Degree(v)) : 0.0f;
+      for (int64_t e = rp[v]; e < rp[v + 1]; ++e) vals[e] = inv;
+    }
+  });
   mean_adj_ = SparseMatrix(n, n, std::move(rp), std::move(ci), std::move(vals));
   // Row-normalisation breaks symmetry; backward uses the explicit transpose.
   mean_adj_.set_is_symmetric(false);
@@ -103,17 +112,20 @@ const Graph::EdgeIndex& Graph::AttentionEdges() const {
   const int64_t m = idx.seg_ptr[n];
   idx.src.resize(m);
   idx.dst.resize(m);
-  for (NodeId v = 0; v < n; ++v) {
-    int64_t pos = idx.seg_ptr[v];
-    idx.src[pos] = v;  // self loop first
-    idx.dst[pos] = v;
-    ++pos;
-    for (NodeId u : Neighbors(v)) {
-      idx.src[pos] = u;
+  // Each node fills its own segment -- disjoint per chunk.
+  ParallelFor(0, n, /*grain=*/256, [&](int64_t lo, int64_t hi) {
+    for (NodeId v = lo; v < hi; ++v) {
+      int64_t pos = idx.seg_ptr[v];
+      idx.src[pos] = v;  // self loop first
       idx.dst[pos] = v;
       ++pos;
+      for (NodeId u : Neighbors(v)) {
+        idx.src[pos] = u;
+        idx.dst[pos] = v;
+        ++pos;
+      }
     }
-  }
+  });
   attn_edges_ = std::move(idx);
   attn_edges_built_ = true;
   return attn_edges_;
@@ -150,26 +162,54 @@ void GraphBuilder::SetCommunities(std::vector<int64_t> community) {
 
 Graph GraphBuilder::Build() {
   // Canonicalise: drop self loops, deduplicate, emit both directions sorted.
-  std::vector<std::pair<NodeId, NodeId>> dir;
-  dir.reserve(edges_.size() * 2);
+  //
+  // Parallel CSR construction. Instead of globally sorting the directed edge
+  // list (O(E log E) serial), bucket edges per node with a counting pass and
+  // prefix sum, then sort + dedup each node's bucket independently
+  // (ParallelFor over nodes) and compact through a second prefix sum. Every
+  // adjacency list ends up sorted and duplicate-free, which is exactly what
+  // the global sort produced -- the CSR is identical for any thread count.
+  const int64_t n = num_nodes_;
+  std::vector<int64_t> deg(n, 0);
   for (auto [u, v] : edges_) {
     if (u == v) continue;
-    dir.emplace_back(u, v);
-    dir.emplace_back(v, u);
+    ++deg[u];
+    ++deg[v];
   }
-  std::sort(dir.begin(), dir.end());
-  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+  std::vector<int64_t> bucket_ptr(n + 1, 0);
+  for (int64_t i = 0; i < n; ++i) bucket_ptr[i + 1] = bucket_ptr[i] + deg[i];
+  std::vector<NodeId> bucket(bucket_ptr[n]);
+  {
+    std::vector<int64_t> cursor(bucket_ptr.begin(), bucket_ptr.end() - 1);
+    for (auto [u, v] : edges_) {
+      if (u == v) continue;
+      bucket[cursor[u]++] = v;
+      bucket[cursor[v]++] = u;
+    }
+  }
+  // Per-node sort + dedup, in place within each node's disjoint slice.
+  std::vector<int64_t> uniq(n, 0);
+  ParallelFor(0, n, /*grain=*/256, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      NodeId* first = bucket.data() + bucket_ptr[v];
+      NodeId* last = bucket.data() + bucket_ptr[v + 1];
+      std::sort(first, last);
+      uniq[v] = std::unique(first, last) - first;
+    }
+  });
 
   Graph g;
-  g.num_nodes_ = num_nodes_;
-  g.row_ptr_.assign(num_nodes_ + 1, 0);
-  g.col_idx_.resize(dir.size());
-  for (auto [u, v] : dir) ++g.row_ptr_[u + 1];
-  for (int64_t i = 0; i < num_nodes_; ++i) g.row_ptr_[i + 1] += g.row_ptr_[i];
-  {
-    std::vector<int64_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
-    for (auto [u, v] : dir) g.col_idx_[cursor[u]++] = v;
-  }
+  g.num_nodes_ = n;
+  g.row_ptr_.assign(n + 1, 0);
+  for (int64_t i = 0; i < n; ++i) g.row_ptr_[i + 1] = g.row_ptr_[i] + uniq[i];
+  g.col_idx_.resize(g.row_ptr_[n]);
+  ParallelFor(0, n, /*grain=*/256, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      std::copy(bucket.begin() + bucket_ptr[v],
+                bucket.begin() + bucket_ptr[v] + uniq[v],
+                g.col_idx_.begin() + g.row_ptr_[v]);
+    }
+  });
   g.feature_dim_ = feature_dim_;
   g.features_ = std::move(features_);
   g.attrs_ = std::move(attrs_);

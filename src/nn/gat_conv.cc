@@ -14,6 +14,9 @@ GatConv::GatConv(int64_t in_dim, int64_t out_dim, Rng* rng,
 }
 
 Tensor GatConv::Forward(const Graph& g, const Tensor& x) const {
+  // Every op below is segment- or row-parallel (common/parallel.h): the
+  // projections chunk over output rows, SegmentSoftmax / SegmentSumRows over
+  // destination segments. Results are bitwise-deterministic per thread count.
   const Graph::EdgeIndex& ei = g.AttentionEdges();
   Tensor h = MatMul(x, weight_);                     // {n, out}
   Tensor s_src = MatMul(h, attn_src_);               // {n, 1}

@@ -1,5 +1,9 @@
 // Graph Convolutional Network layer (Kipf & Welling 2017):
 //   H' = D^{-1/2} (A + I) D^{-1/2} H W + b
+//
+// The propagation SpMM and the dense projection are the library's hot path;
+// both are row-parallel (common/parallel.h) with bitwise-deterministic
+// output, so Forward behaves identically at any set_num_threads() value.
 #ifndef CGNP_NN_GCN_CONV_H_
 #define CGNP_NN_GCN_CONV_H_
 

@@ -1,5 +1,10 @@
 // GraphSAGE layer with mean aggregation (Hamilton et al. 2017):
 //   H' = H W_self + mean_{u in N(v)} H_u W_neigh + b
+//
+// Both the mean-adjacency SpMM and the dense projections run on the
+// row-parallel kernels in common/parallel.h (bitwise-deterministic, any
+// thread count). The mean adjacency is asymmetric, so the SpMM backward
+// multiplies by an explicitly materialised transpose (see tensor/ops.cc).
 #ifndef CGNP_NN_SAGE_CONV_H_
 #define CGNP_NN_SAGE_CONV_H_
 

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "serve/context_cache.h"
-#include "serve/thread_pool.h"
 
 namespace cgnp {
 namespace serve {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cgnp {
 
@@ -42,6 +43,12 @@ inline int64_t BIndex(Bcast bc, int64_t i, int64_t j, int64_t cols) {
 
 // Generic elementwise binary op with broadcast; fwd(a,b) computes the value,
 // dfa/dfb compute partials w.r.t. a and b given (a, b, grad_out).
+//
+// Forward is parallelised over rows (each output element written once).
+// Backward parallelises the a-gradient always (ia unique per element) and
+// the b-gradient only under kSame / kCol broadcasts (ib unique per element /
+// per row); kScalar and kRow accumulate many rows into one b element, so
+// that pass stays serial -- split off so a racy b never serialises a.
 template <typename F, typename Da, typename Db>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
   const Bcast bc = BroadcastOf(a.shape(), b.shape());
@@ -55,66 +62,95 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
         const bool gb = b_impl->requires_grad;
         if (ga) a_impl->EnsureGrad();
         if (gb) b_impl->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < d; ++j) {
-            const int64_t ia = i * d + j;
-            const int64_t ib = BIndex(bc, i, j, d);
-            const float go = self.grad[ia];
-            const float av = a_impl->data[ia];
-            const float bv = b_impl->data[ib];
-            if (ga) a_impl->grad[ia] += dfa(av, bv) * go;
-            if (gb) b_impl->grad[ib] += dfb(av, bv) * go;
+        if (ga) {
+          ParallelFor(0, n, GrainForWork(d), [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int64_t j = 0; j < d; ++j) {
+                const int64_t ia = i * d + j;
+                const float bv = b_impl->data[BIndex(bc, i, j, d)];
+                a_impl->grad[ia] += dfa(a_impl->data[ia], bv) * self.grad[ia];
+              }
+            }
+          });
+        }
+        if (gb) {
+          const auto rows = [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int64_t j = 0; j < d; ++j) {
+                const int64_t ia = i * d + j;
+                const int64_t ib = BIndex(bc, i, j, d);
+                b_impl->grad[ib] +=
+                    dfb(a_impl->data[ia], b_impl->data[ib]) * self.grad[ia];
+              }
+            }
+          };
+          if (bc == Bcast::kSame || bc == Bcast::kCol) {
+            ParallelFor(0, n, GrainForWork(d), rows);
+          } else {
+            rows(0, n);
           }
         }
       });
   float* o = out.data();
   const float* ap = a.data();
   const float* bp = b.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      o[i * d + j] = fwd(ap[i * d + j], bp[BIndex(bc, i, j, d)]);
-    }
-  }
+  ParallelFor(0, n, GrainForWork(d),
+              [o, ap, bp, bc, d, fwd](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  for (int64_t j = 0; j < d; ++j) {
+                    o[i * d + j] = fwd(ap[i * d + j], bp[BIndex(bc, i, j, d)]);
+                  }
+                }
+              });
   return out;
 }
 
 // Generic unary op; dfa(x, y) is d out / d in given input x and output y.
+// Elementwise, so forward and backward parallelise over flat chunks.
 template <typename F, typename Da>
 Tensor UnaryOp(const Tensor& a, F fwd, Da dfa) {
   auto a_impl = a.impl();
   const int64_t n = a.numel();
-  Tensor out = MakeOpOutput(a.shape(), {a_impl},
-                            [a_impl, n, dfa](TensorImpl& self) {
-                              if (!a_impl->requires_grad) return;
-                              a_impl->EnsureGrad();
-                              for (int64_t i = 0; i < n; ++i) {
-                                a_impl->grad[i] +=
-                                    dfa(a_impl->data[i], self.data[i]) *
-                                    self.grad[i];
-                              }
-                            });
+  Tensor out = MakeOpOutput(
+      a.shape(), {a_impl}, [a_impl, n, dfa](TensorImpl& self) {
+        if (!a_impl->requires_grad) return;
+        a_impl->EnsureGrad();
+        ParallelFor(0, n, kParallelCutoff, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            a_impl->grad[i] += dfa(a_impl->data[i], self.data[i]) *
+                               self.grad[i];
+          }
+        });
+      });
   float* o = out.data();
   const float* ap = a.data();
-  for (int64_t i = 0; i < n; ++i) o[i] = fwd(ap[i]);
+  ParallelFor(0, n, kParallelCutoff, [o, ap, fwd](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = fwd(ap[i]);
+  });
   return out;
 }
 
 // C[MxN] += op(A) * op(B); A stored (ta ? KxM : MxK), B stored (tb ? NxK : KxN).
+// Parallelised over rows of C: each chunk owns a disjoint slab of output
+// rows and runs the serial inner loops unchanged, so the result is bitwise
+// identical for any thread count.
 void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, const float* a,
           const float* b, float* c) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ta ? a[p * m + i] : a[i * k + p];
-      if (av == 0.0f) continue;
-      if (!tb) {
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+  ParallelFor(0, m, GrainForWork(n * k), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        if (av == 0.0f) continue;
+        if (!tb) {
+          const float* brow = b + p * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        } else {
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+        }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -269,14 +305,19 @@ Tensor Transpose(const Tensor& a) {
   Tensor out = MakeOpOutput({d, n}, {a_impl}, [a_impl, n, d](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
     a_impl->EnsureGrad();
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < d; ++j)
-        a_impl->grad[i * d + j] += self.grad[j * n + i];
+    // Chunked over rows of a: each chunk touches a disjoint slab of grad.
+    ParallelFor(0, n, GrainForWork(d), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i)
+        for (int64_t j = 0; j < d; ++j)
+          a_impl->grad[i * d + j] += self.grad[j * n + i];
+    });
   });
   float* o = out.data();
   const float* p = a.data();
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < d; ++j) o[j * n + i] = p[i * d + j];
+  ParallelFor(0, n, GrainForWork(d), [o, p, n, d](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      for (int64_t j = 0; j < d; ++j) o[j * n + i] = p[i * d + j];
+  });
   return out;
 }
 
@@ -418,8 +459,12 @@ Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& indices) {
                             });
   float* o = out.data();
   const float* p = a.data();
-  for (int64_t i = 0; i < m; ++i)
-    std::copy(p + indices[i] * d, p + (indices[i] + 1) * d, o + i * d);
+  // Forward gathers into disjoint output rows (parallel-safe); backward
+  // scatter-adds and stays serial -- duplicate indices may target one row.
+  ParallelFor(0, m, GrainForWork(d), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      std::copy(p + indices[i] * d, p + (indices[i] + 1) * d, o + i * d);
+  });
   return out;
 }
 
@@ -430,28 +475,32 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = MakeOpOutput({n, d}, {a_impl}, [a_impl, n, d](TensorImpl& self) {
     if (!a_impl->requires_grad) return;
     a_impl->EnsureGrad();
-    // dx_j = y_j * (g_j - sum_k g_k y_k) per row.
-    for (int64_t i = 0; i < n; ++i) {
-      const float* y = self.data.data() + i * d;
-      const float* g = self.grad.data() + i * d;
-      float dot = 0;
-      for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
-      for (int64_t j = 0; j < d; ++j)
-        a_impl->grad[i * d + j] += y[j] * (g[j] - dot);
-    }
+    // dx_j = y_j * (g_j - sum_k g_k y_k) per row; rows are independent.
+    ParallelFor(0, n, GrainForWork(d), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const float* y = self.data.data() + i * d;
+        const float* g = self.grad.data() + i * d;
+        float dot = 0;
+        for (int64_t j = 0; j < d; ++j) dot += g[j] * y[j];
+        for (int64_t j = 0; j < d; ++j)
+          a_impl->grad[i * d + j] += y[j] * (g[j] - dot);
+      }
+    });
   });
   float* o = out.data();
   const float* p = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    float mx = p[i * d];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, p[i * d + j]);
-    float z = 0;
-    for (int64_t j = 0; j < d; ++j) {
-      o[i * d + j] = std::exp(p[i * d + j] - mx);
-      z += o[i * d + j];
+  ParallelFor(0, n, GrainForWork(d), [o, p, d](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float mx = p[i * d];
+      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, p[i * d + j]);
+      float z = 0;
+      for (int64_t j = 0; j < d; ++j) {
+        o[i * d + j] = std::exp(p[i * d + j] - mx);
+        z += o[i * d + j];
+      }
+      for (int64_t j = 0; j < d; ++j) o[i * d + j] /= z;
     }
-    for (int64_t j = 0; j < d; ++j) o[i * d + j] /= z;
-  }
+  });
   return out;
 }
 
@@ -477,10 +526,14 @@ Tensor SpMM(const SparseMatrix& a, const Tensor& x) {
         if (!x_impl->requires_grad) return;
         x_impl->EnsureGrad();
         const SparseMatrix& back = at ? *at : *a_ptr;
-        // dx += A^T * dy, accumulated manually.
+        // dx += A^T * dy: the SpMM itself is row-parallel inside Multiply;
+        // the accumulation is elementwise and chunked the same way.
         std::vector<float> tmp(back.rows() * d, 0.0f);
         back.Multiply(self.grad.data(), d, tmp.data());
-        for (size_t i = 0; i < tmp.size(); ++i) x_impl->grad[i] += tmp[i];
+        const int64_t total = static_cast<int64_t>(tmp.size());
+        ParallelFor(0, total, kParallelCutoff, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) x_impl->grad[i] += tmp[i];
+        });
       });
   a.Multiply(x.data(), d, out.data());
   return out;
@@ -492,34 +545,41 @@ Tensor SegmentSoftmax(const Tensor& scores,
   const int64_t m = scores.rows();
   CGNP_CHECK_EQ(seg_ptr.back(), m);
   auto s_impl = scores.impl();
+  // Segments partition the edge range, so chunking over segments keeps every
+  // edge (and its gradient entry) owned by exactly one chunk.
+  const int64_t num_segs = static_cast<int64_t>(seg_ptr.size()) - 1;
+  const int64_t seg_grain =
+      GrainForWork(m / std::max<int64_t>(1, num_segs) + 1);
   Tensor out = MakeOpOutput(
-      {m, 1}, {s_impl}, [s_impl, seg_ptr](TensorImpl& self) {
+      {m, 1}, {s_impl}, [s_impl, seg_ptr, num_segs, seg_grain](TensorImpl& self) {
         if (!s_impl->requires_grad) return;
         s_impl->EnsureGrad();
-        const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
-        for (int64_t s = 0; s < segs; ++s) {
-          float dot = 0;
-          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
-            dot += self.grad[e] * self.data[e];
-          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
-            s_impl->grad[e] += self.data[e] * (self.grad[e] - dot);
-        }
+        ParallelFor(0, num_segs, seg_grain, [&](int64_t s_lo, int64_t s_hi) {
+          for (int64_t s = s_lo; s < s_hi; ++s) {
+            float dot = 0;
+            for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+              dot += self.grad[e] * self.data[e];
+            for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+              s_impl->grad[e] += self.data[e] * (self.grad[e] - dot);
+          }
+        });
       });
   float* o = out.data();
   const float* p = scores.data();
-  const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
-  for (int64_t s = 0; s < segs; ++s) {
-    const int64_t lo = seg_ptr[s], hi = seg_ptr[s + 1];
-    if (lo == hi) continue;
-    float mx = p[lo];
-    for (int64_t e = lo + 1; e < hi; ++e) mx = std::max(mx, p[e]);
-    float z = 0;
-    for (int64_t e = lo; e < hi; ++e) {
-      o[e] = std::exp(p[e] - mx);
-      z += o[e];
+  ParallelFor(0, num_segs, seg_grain, [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const int64_t lo = seg_ptr[s], hi = seg_ptr[s + 1];
+      if (lo == hi) continue;
+      float mx = p[lo];
+      for (int64_t e = lo + 1; e < hi; ++e) mx = std::max(mx, p[e]);
+      float z = 0;
+      for (int64_t e = lo; e < hi; ++e) {
+        o[e] = std::exp(p[e] - mx);
+        z += o[e];
+      }
+      for (int64_t e = lo; e < hi; ++e) o[e] /= z;
     }
-    for (int64_t e = lo; e < hi; ++e) o[e] /= z;
-  }
+  });
   return out;
 }
 
@@ -529,20 +589,27 @@ Tensor SegmentSumRows(const Tensor& x, const std::vector<int64_t>& seg_ptr) {
   CGNP_CHECK_EQ(seg_ptr.back(), m);
   const int64_t segs = static_cast<int64_t>(seg_ptr.size()) - 1;
   auto x_impl = x.impl();
+  const int64_t seg_grain =
+      GrainForWork((m / std::max<int64_t>(1, segs) + 1) * d);
   Tensor out = MakeOpOutput(
-      {segs, d}, {x_impl}, [x_impl, seg_ptr, d, segs](TensorImpl& self) {
+      {segs, d}, {x_impl},
+      [x_impl, seg_ptr, d, segs, seg_grain](TensorImpl& self) {
         if (!x_impl->requires_grad) return;
         x_impl->EnsureGrad();
-        for (int64_t s = 0; s < segs; ++s)
-          for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
-            for (int64_t j = 0; j < d; ++j)
-              x_impl->grad[e * d + j] += self.grad[s * d + j];
+        ParallelFor(0, segs, seg_grain, [&](int64_t s_lo, int64_t s_hi) {
+          for (int64_t s = s_lo; s < s_hi; ++s)
+            for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+              for (int64_t j = 0; j < d; ++j)
+                x_impl->grad[e * d + j] += self.grad[s * d + j];
+        });
       });
   float* o = out.data();
   const float* p = x.data();
-  for (int64_t s = 0; s < segs; ++s)
-    for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
-      for (int64_t j = 0; j < d; ++j) o[s * d + j] += p[e * d + j];
+  ParallelFor(0, segs, seg_grain, [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s)
+      for (int64_t e = seg_ptr[s]; e < seg_ptr[s + 1]; ++e)
+        for (int64_t j = 0; j < d; ++j) o[s * d + j] += p[e * d + j];
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "tensor/sparse.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cgnp {
 
@@ -41,15 +42,25 @@ SparseMatrix SparseMatrix::Transposed() const {
 }
 
 void SparseMatrix::Multiply(const float* x, int64_t d, float* y) const {
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* out = y + r * d;
-    for (int64_t j = 0; j < d; ++j) out[j] = 0.0f;
-    for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float w = values_[e];
-      const float* in = x + col_idx_[e] * d;
-      for (int64_t j = 0; j < d; ++j) out[j] += w * in[j];
-    }
-  }
+  // Row-partitioned parallel CSR SpMM: each output row is produced by
+  // exactly one chunk with the same per-row accumulation order as the serial
+  // loop, so results are bitwise identical for any thread count (no atomics,
+  // no reduction reordering). Grain targets a fixed amount of multiply-add
+  // work per chunk so small matrices stay on the calling thread.
+  const int64_t avg_row_nnz =
+      rows_ > 0 ? (nnz() + rows_ - 1) / rows_ : 0;
+  ParallelFor(0, rows_, GrainForWork(d * (avg_row_nnz + 1)),
+              [this, x, d, y](int64_t lo, int64_t hi) {
+                for (int64_t r = lo; r < hi; ++r) {
+                  float* out = y + r * d;
+                  for (int64_t j = 0; j < d; ++j) out[j] = 0.0f;
+                  for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+                    const float w = values_[e];
+                    const float* in = x + col_idx_[e] * d;
+                    for (int64_t j = 0; j < d; ++j) out[j] += w * in[j];
+                  }
+                }
+              });
 }
 
 }  // namespace cgnp

@@ -36,6 +36,8 @@ class SparseMatrix {
 
   // y = A * x where x is a dense row-major matrix (cols() x d) and y is
   // (rows() x d). Plain float buffers; autograd wiring lives in ops.cc.
+  // Parallelised over row chunks (common/parallel.h); the result is bitwise
+  // identical to the serial loop for any thread count.
   void Multiply(const float* x, int64_t d, float* y) const;
 
  private:

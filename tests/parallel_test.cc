@@ -1,0 +1,213 @@
+// Parallel/serial parity for the intra-op kernels (common/parallel.h).
+//
+// The kernels promise bitwise-identical results for any thread count
+// (row-partitioned, no atomics, serial order within each row), so these
+// tests compare with exact equality; the ISSUE-level 1e-6 bound is implied.
+// Each test restores set_num_threads(1) so suites stay order-independent.
+#include "common/parallel.h"
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+// Restores the global thread count on scope exit, so a failing ASSERT
+// cannot leak an 8-thread setting into later tests.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) { set_num_threads(n); }
+  ~ThreadCountGuard() { set_num_threads(1); }
+};
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadCountGuard guard(8);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 1000, /*grain=*/16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSubGrainRangesRunInline) {
+  ThreadCountGuard guard(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Range no bigger than one grain: one inline invocation on this thread.
+  ParallelFor(0, 8, 8, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 8);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedRegionsRunInlineAndDoNotDeadlock) {
+  ThreadCountGuard guard(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 64, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Nested call must execute inline on this worker, not re-enter the
+      // pool (which would deadlock a fully busy pool).
+      ParallelFor(0, 10, 1,
+                  [&](int64_t l2, int64_t h2) { total.fetch_add(h2 - l2); });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 10);
+}
+
+TEST(ParallelFor, SetNumThreadsClampsAndReports) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(1);
+}
+
+// Random sparse graph + feature matrix shared by the parity tests.
+struct SpmmFixture {
+  Graph graph;
+  std::vector<float> x;
+  int64_t d = 24;
+  SpmmFixture() {
+    Rng rng(11);
+    GraphBuilder b(300);
+    for (int64_t v = 0; v < 300; ++v) {
+      for (int j = 0; j < 6; ++j) b.AddEdge(v, rng.NextInt(300));
+    }
+    graph = b.Build();
+    x.resize(graph.num_nodes() * d);
+    for (auto& f : x) f = rng.Normal();
+  }
+};
+
+TEST(ParallelParity, SpmmForwardBitwiseAcrossThreadCounts) {
+  SpmmFixture fx;
+  const SparseMatrix& a = fx.graph.GcnAdjacency();
+  std::vector<float> serial(a.rows() * fx.d);
+  set_num_threads(1);
+  a.Multiply(fx.x.data(), fx.d, serial.data());
+  for (int threads : {2, 8}) {
+    ThreadCountGuard guard(threads);
+    std::vector<float> parallel(a.rows() * fx.d);
+    a.Multiply(fx.x.data(), fx.d, parallel.data());
+    // Bitwise: same per-row accumulation order regardless of partition.
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelParity, SpmmBackwardBitwiseAcrossThreadCounts) {
+  SpmmFixture fx;
+  // MeanAdjacency is asymmetric, so backward exercises the explicit A^T
+  // path; GcnAdjacency would reuse A.
+  const SparseMatrix& a = fx.graph.MeanAdjacency();
+  auto grad_with_threads = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    Tensor x = Tensor::FromVector({fx.graph.num_nodes(), fx.d}, fx.x,
+                                  /*requires_grad=*/true);
+    Tensor loss = Sum(SpMM(a, x));
+    loss.Backward();
+    return x.grad();
+  };
+  const std::vector<float> serial = grad_with_threads(1);
+  EXPECT_EQ(grad_with_threads(2), serial);
+  EXPECT_EQ(grad_with_threads(8), serial);
+}
+
+TEST(ParallelParity, MatMulForwardBackwardBitwiseAcrossThreadCounts) {
+  Rng rng(5);
+  Tensor a0 = Tensor::Randn({64, 48}, &rng);
+  Tensor b0 = Tensor::Randn({48, 32}, &rng);
+  auto run = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    Tensor a = Tensor::FromVector(
+        {64, 48}, std::vector<float>(a0.data(), a0.data() + a0.numel()),
+        /*requires_grad=*/true);
+    Tensor b = Tensor::FromVector(
+        {48, 32}, std::vector<float>(b0.data(), b0.data() + b0.numel()),
+        /*requires_grad=*/true);
+    Tensor c = MatMul(a, b);
+    std::vector<float> out(c.data(), c.data() + c.numel());
+    Sum(Mul(c, c)).Backward();
+    return std::make_tuple(out, a.grad(), b.grad());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelParity, GraphBuilderIdenticalCsrAcrossThreadCounts) {
+  // Messy input: duplicates, self loops, both orientations of one edge.
+  auto build = [](int threads) {
+    ThreadCountGuard guard(threads);
+    Rng rng(23);
+    GraphBuilder b(500);
+    for (int64_t i = 0; i < 4000; ++i) {
+      const NodeId u = rng.NextInt(500), v = rng.NextInt(500);
+      b.AddEdge(u, v);
+      if (i % 7 == 0) b.AddEdge(v, u);  // duplicate, reversed
+      if (i % 11 == 0) b.AddEdge(u, u);  // self loop, dropped
+    }
+    return b.Build();
+  };
+  const Graph serial = build(1);
+  const Graph parallel = build(8);
+  ASSERT_EQ(parallel.row_ptr(), serial.row_ptr());
+  ASSERT_EQ(parallel.col_idx(), serial.col_idx());
+
+  // Cross-check against a set-based reference on the serial build.
+  std::set<std::pair<NodeId, NodeId>> ref;
+  for (NodeId v = 0; v < serial.num_nodes(); ++v) {
+    NodeId prev = -1;
+    for (NodeId u : serial.Neighbors(v)) {
+      EXPECT_GT(u, prev) << "unsorted or duplicate neighbor at node " << v;
+      EXPECT_NE(u, v) << "self loop survived at node " << v;
+      prev = u;
+      ref.emplace(v, u);
+    }
+  }
+  for (auto [v, u] : ref) {
+    EXPECT_TRUE(ref.count({u, v})) << "missing reverse edge " << u << "->" << v;
+  }
+}
+
+TEST(ParallelParity, RepeatedRunsAtFixedThreadCountAreDeterministic) {
+  SpmmFixture fx;
+  ThreadCountGuard guard(8);
+  const SparseMatrix& a = fx.graph.GcnAdjacency();
+  std::vector<float> first(a.rows() * fx.d);
+  a.Multiply(fx.x.data(), fx.d, first.data());
+  for (int run = 0; run < 5; ++run) {
+    std::vector<float> again(a.rows() * fx.d);
+    a.Multiply(fx.x.data(), fx.d, again.data());
+    ASSERT_EQ(again, first) << "run " << run;
+  }
+}
+
+TEST(ParallelParity, GatForwardBitwiseAcrossThreadCounts) {
+  // End-to-end through the segment kernels (softmax + segment sums).
+  SpmmFixture fx;
+  const auto& ei = fx.graph.AttentionEdges();
+  Rng rng(3);
+  Tensor scores =
+      Tensor::Randn({static_cast<int64_t>(ei.src.size()), 1}, &rng);
+  auto run = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    Tensor alpha = SegmentSoftmax(scores, ei.seg_ptr);
+    return std::vector<float>(alpha.data(), alpha.data() + alpha.numel());
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(8), serial);
+}
+
+}  // namespace
+}  // namespace cgnp

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
 #include "serve/context_cache.h"
-#include "serve/thread_pool.h"
 
 namespace cgnp {
 namespace {
@@ -17,7 +17,6 @@ using serve::SearchRequest;
 using serve::SearchResponse;
 using serve::ServeOptions;
 using serve::TaskFingerprint;
-using serve::ThreadPool;
 
 Graph PlantedGraph(uint64_t seed = 1) {
   Rng rng(seed);
