@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scalability.dir/bench/bench_fig4_scalability.cc.o"
+  "CMakeFiles/bench_fig4_scalability.dir/bench/bench_fig4_scalability.cc.o.d"
+  "bench_fig4_scalability"
+  "bench_fig4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

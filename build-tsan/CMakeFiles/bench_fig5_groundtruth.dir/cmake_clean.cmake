@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_groundtruth.dir/bench/bench_fig5_groundtruth.cc.o"
+  "CMakeFiles/bench_fig5_groundtruth.dir/bench/bench_fig5_groundtruth.cc.o.d"
+  "bench_fig5_groundtruth"
+  "bench_fig5_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "CMakeFiles/cgnp.dir/src/common/check.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/common/check.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "CMakeFiles/cgnp.dir/src/common/parallel.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/common/parallel.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/cgnp.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/cgnp.cc" "CMakeFiles/cgnp.dir/src/core/cgnp.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/cgnp.cc.o.d"
+  "/root/repo/src/core/cgnp_decoder.cc" "CMakeFiles/cgnp.dir/src/core/cgnp_decoder.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/cgnp_decoder.cc.o.d"
+  "/root/repo/src/core/cgnp_encoder.cc" "CMakeFiles/cgnp.dir/src/core/cgnp_encoder.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/cgnp_encoder.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "CMakeFiles/cgnp.dir/src/core/checkpoint.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/commutative.cc" "CMakeFiles/cgnp.dir/src/core/commutative.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/commutative.cc.o.d"
+  "/root/repo/src/core/engine.cc" "CMakeFiles/cgnp.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/cs/acq.cc" "CMakeFiles/cgnp.dir/src/cs/acq.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/acq.cc.o.d"
+  "/root/repo/src/cs/atc.cc" "CMakeFiles/cgnp.dir/src/cs/atc.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/atc.cc.o.d"
+  "/root/repo/src/cs/ctc.cc" "CMakeFiles/cgnp.dir/src/cs/ctc.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/ctc.cc.o.d"
+  "/root/repo/src/cs/kclique_community.cc" "CMakeFiles/cgnp.dir/src/cs/kclique_community.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/kclique_community.cc.o.d"
+  "/root/repo/src/cs/kcore_community.cc" "CMakeFiles/cgnp.dir/src/cs/kcore_community.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/kcore_community.cc.o.d"
+  "/root/repo/src/cs/kecc_community.cc" "CMakeFiles/cgnp.dir/src/cs/kecc_community.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/kecc_community.cc.o.d"
+  "/root/repo/src/cs/ktruss_community.cc" "CMakeFiles/cgnp.dir/src/cs/ktruss_community.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/cs/ktruss_community.cc.o.d"
+  "/root/repo/src/data/io.cc" "CMakeFiles/cgnp.dir/src/data/io.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/data/io.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "CMakeFiles/cgnp.dir/src/data/metrics.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/data/metrics.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "CMakeFiles/cgnp.dir/src/data/profiles.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/data/profiles.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/cgnp.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/data/tasks.cc" "CMakeFiles/cgnp.dir/src/data/tasks.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/data/tasks.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "CMakeFiles/cgnp.dir/src/graph/algorithms.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/cgnp.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/mincut.cc" "CMakeFiles/cgnp.dir/src/graph/mincut.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/graph/mincut.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "CMakeFiles/cgnp.dir/src/graph/sampling.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/graph/sampling.cc.o.d"
+  "/root/repo/src/meta/aqd_gnn.cc" "CMakeFiles/cgnp.dir/src/meta/aqd_gnn.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/aqd_gnn.cc.o.d"
+  "/root/repo/src/meta/classical.cc" "CMakeFiles/cgnp.dir/src/meta/classical.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/classical.cc.o.d"
+  "/root/repo/src/meta/feat_trans.cc" "CMakeFiles/cgnp.dir/src/meta/feat_trans.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/feat_trans.cc.o.d"
+  "/root/repo/src/meta/gpn.cc" "CMakeFiles/cgnp.dir/src/meta/gpn.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/gpn.cc.o.d"
+  "/root/repo/src/meta/ics_gnn.cc" "CMakeFiles/cgnp.dir/src/meta/ics_gnn.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/ics_gnn.cc.o.d"
+  "/root/repo/src/meta/maml.cc" "CMakeFiles/cgnp.dir/src/meta/maml.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/maml.cc.o.d"
+  "/root/repo/src/meta/method.cc" "CMakeFiles/cgnp.dir/src/meta/method.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/method.cc.o.d"
+  "/root/repo/src/meta/query_gnn.cc" "CMakeFiles/cgnp.dir/src/meta/query_gnn.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/query_gnn.cc.o.d"
+  "/root/repo/src/meta/reptile.cc" "CMakeFiles/cgnp.dir/src/meta/reptile.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/reptile.cc.o.d"
+  "/root/repo/src/meta/supervised.cc" "CMakeFiles/cgnp.dir/src/meta/supervised.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/meta/supervised.cc.o.d"
+  "/root/repo/src/nn/gat_conv.cc" "CMakeFiles/cgnp.dir/src/nn/gat_conv.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "CMakeFiles/cgnp.dir/src/nn/gcn_conv.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/gnn_stack.cc" "CMakeFiles/cgnp.dir/src/nn/gnn_stack.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/gnn_stack.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "CMakeFiles/cgnp.dir/src/nn/linear.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "CMakeFiles/cgnp.dir/src/nn/mlp.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "CMakeFiles/cgnp.dir/src/nn/module.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/module.cc.o.d"
+  "/root/repo/src/nn/sage_conv.cc" "CMakeFiles/cgnp.dir/src/nn/sage_conv.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/nn/sage_conv.cc.o.d"
+  "/root/repo/src/serve/context_cache.cc" "CMakeFiles/cgnp.dir/src/serve/context_cache.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/serve/context_cache.cc.o.d"
+  "/root/repo/src/serve/query_server.cc" "CMakeFiles/cgnp.dir/src/serve/query_server.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/serve/query_server.cc.o.d"
+  "/root/repo/src/tensor/io.cc" "CMakeFiles/cgnp.dir/src/tensor/io.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/io.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/cgnp.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "CMakeFiles/cgnp.dir/src/tensor/optim.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/optim.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "CMakeFiles/cgnp.dir/src/tensor/rng.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/rng.cc.o.d"
+  "/root/repo/src/tensor/sparse.cc" "CMakeFiles/cgnp.dir/src/tensor/sparse.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/sparse.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/cgnp.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/cgnp.dir/src/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgnp_bench_harness.dir/bench/harness.cc.o"
+  "CMakeFiles/cgnp_bench_harness.dir/bench/harness.cc.o.d"
+  "libcgnp_bench_harness.a"
+  "libcgnp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgnp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

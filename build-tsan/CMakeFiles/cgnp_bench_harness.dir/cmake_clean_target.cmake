@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgnp_bench_harness.a"
+)

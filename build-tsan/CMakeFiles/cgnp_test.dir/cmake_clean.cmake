@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgnp_test.dir/tests/cgnp_test.cc.o"
+  "CMakeFiles/cgnp_test.dir/tests/cgnp_test.cc.o.d"
+  "cgnp_test"
+  "cgnp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgnp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_vs_learned.dir/examples/classical_vs_learned.cpp.o"
+  "CMakeFiles/classical_vs_learned.dir/examples/classical_vs_learned.cpp.o.d"
+  "classical_vs_learned"
+  "classical_vs_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_vs_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

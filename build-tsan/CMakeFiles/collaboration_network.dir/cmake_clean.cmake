@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration_network.dir/examples/collaboration_network.cpp.o"
+  "CMakeFiles/collaboration_network.dir/examples/collaboration_network.cpp.o.d"
+  "collaboration_network"
+  "collaboration_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_models_test.dir/tests/community_models_test.cc.o"
+  "CMakeFiles/community_models_test.dir/tests/community_models_test.cc.o.d"
+  "community_models_test"
+  "community_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_test.dir/tests/cs_test.cc.o"
+  "CMakeFiles/cs_test.dir/tests/cs_test.cc.o.d"
+  "cs_test"
+  "cs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

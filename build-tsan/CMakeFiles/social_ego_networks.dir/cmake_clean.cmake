@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_ego_networks.dir/examples/social_ego_networks.cpp.o"
+  "CMakeFiles/social_ego_networks.dir/examples/social_ego_networks.cpp.o.d"
+  "social_ego_networks"
+  "social_ego_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_ego_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for social_ego_networks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_serve.dir/examples/train_and_serve.cpp.o"
+  "CMakeFiles/train_and_serve.dir/examples/train_and_serve.cpp.o.d"
+  "train_and_serve"
+  "train_and_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
