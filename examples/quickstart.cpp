@@ -1,5 +1,11 @@
 // Quickstart: train a CGNP meta model on a labelled graph and answer a
-// community-search query.
+// community-search query, through the v1 public API:
+//
+//   * EngineBuilder -- fluent, validating construction;
+//   * Status/StatusOr -- bad input comes back as an error value, it never
+//     aborts the process;
+//   * the backend registry -- the same query answered by a classical
+//     algorithm, switched purely by name.
 //
 //   $ ./quickstart
 //
@@ -12,6 +18,7 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "cs/searcher.h"
 #include "data/synthetic.h"
 
 using namespace cgnp;
@@ -38,7 +45,8 @@ double F1Of(const Graph& g, NodeId q, const std::vector<NodeId>& members) {
 }  // namespace
 
 int main() {
-  // 1. A labelled data graph. Swap in LoadGraphFromFiles(...) for real data.
+  // 1. A labelled data graph. Swap in LoadGraphFromFiles(...) for real data
+  // (it returns StatusOr<Graph>, same error discipline as below).
   Rng rng(7);
   SyntheticConfig data_cfg;
   data_cfg.num_nodes = 800;
@@ -53,26 +61,50 @@ int main() {
               (long long)g.num_nodes(), (long long)g.num_edges(),
               (long long)g.num_communities());
 
-  // 2. Configure and meta-train the engine.
-  CommunitySearchEngine::Options options;
-  options.model.encoder = GnnKind::kGat;        // paper default
-  options.model.decoder = DecoderKind::kInnerProduct;
-  options.model.hidden_dim = 32;
-  options.model.num_layers = 2;
-  options.model.epochs = 20;
-  options.tasks.subgraph_size = 100;
-  options.tasks.shots = 3;
-  options.num_train_tasks = 16;
-  CommunitySearchEngine engine(options);
-  std::printf("meta-training on %lld sampled tasks...\n",
-              (long long)options.num_train_tasks);
-  engine.Fit(g);
+  // 2. Configure the engine through the fluent builder. Build() validates
+  // the configuration and returns InvalidArgument instead of constructing
+  // an engine that would misbehave later.
+  CgnpConfig model_cfg;
+  model_cfg.encoder = GnnKind::kGat;  // paper default
+  model_cfg.decoder = DecoderKind::kInnerProduct;
+  model_cfg.hidden_dim = 32;
+  model_cfg.num_layers = 2;
+  model_cfg.epochs = 20;
+  TaskConfig task_cfg;
+  task_cfg.subgraph_size = 100;
+  task_cfg.shots = 3;
+  auto built = EngineBuilder()
+                   .WithModel(model_cfg)
+                   .WithTasks(task_cfg)
+                   .WithTrainTasks(16)
+                   .WithSeed(7)
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "engine config rejected: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  CommunitySearchEngine engine = std::move(built).value();
+  std::printf("meta-training on 16 sampled tasks...\n");
+  if (const Status fitted = engine.Fit(g); !fitted.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", fitted.ToString().c_str());
+    return 1;
+  }
 
-  // 3. Query: zero-shot (only the query node conditions the model).
+  // 3. Query: zero-shot (only the query node conditions the model). Query
+  // returns the full result -- members, probabilities, backend, timing.
   const NodeId q = 123;
-  const auto zero_shot = engine.Search(g, q);
-  std::printf("zero-shot community of node %lld: %zu members, F1 = %.3f\n",
-              (long long)q, zero_shot.size(), F1Of(g, q, zero_shot));
+  const auto zero_shot = engine.Query(g, q);
+  if (!zero_shot.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 zero_shot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[%s] zero-shot community of node %lld: %zu members, "
+              "F1 = %.3f (%.2f ms)\n",
+              zero_shot->backend.c_str(), (long long)q,
+              zero_shot->members.size(), F1Of(g, q, zero_shot->members),
+              zero_shot->elapsed_ms);
 
   // 4. Query again with a few labelled observations (the few-shot setting).
   // Labels near the query are the realistic case -- a user inspecting the
@@ -89,11 +121,39 @@ int main() {
       if (g.CommunityOf(w) != g.CommunityOf(q)) obs.neg.push_back(w);
     }
   }
-  const auto few_shot = engine.Search(g, q, {obs});
-  std::printf("few-shot community of node %lld:  %zu members, F1 = %.3f\n",
-              (long long)q, few_shot.size(), F1Of(g, q, few_shot));
+  const auto few_shot = engine.Query(g, q, {obs});
+  if (!few_shot.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 few_shot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[%s] few-shot community of node %lld:  %zu members, "
+              "F1 = %.3f (%.2f ms)\n",
+              few_shot->backend.c_str(), (long long)q,
+              few_shot->members.size(), F1Of(g, q, few_shot->members),
+              few_shot->elapsed_ms);
 
   std::printf("ground-truth community size: %zu\n",
               g.CommunityMembers(g.CommunityOf(q)).size());
+
+  // 5. The same question to a classical backend, switched by registry
+  // name -- no code change, no retraining.
+  const auto ktruss = MakeSearcher("ktruss");
+  if (ktruss.ok()) {
+    const auto result = (*ktruss)->Search(g, q, {}, {});
+    if (result.ok()) {
+      std::printf("[%s] community of node %lld: %zu members, F1 = %.3f "
+                  "(%.2f ms)\n",
+                  result->backend.c_str(), (long long)q,
+                  result->members.size(), F1Of(g, q, result->members),
+                  result->elapsed_ms);
+    }
+  }
+
+  // 6. Errors are values: a malformed query cannot crash a server built on
+  // this API.
+  const auto bad = engine.Search(g, g.num_nodes() + 40);
+  std::printf("out-of-range query returns: %s\n",
+              bad.status().ToString().c_str());
   return 0;
 }

@@ -8,6 +8,11 @@
 // standing in for a fresh serving process -- wrap it in a QueryServer and
 // answer a concurrent batch of community-search queries, with repeated
 // queries sharing one encoder pass through the context cache.
+// Phase 3: point the same server machinery at a classical backend, chosen
+// purely by registry name, and serve the identical batch.
+//
+// Everything user-reachable returns Status: a bad checkpoint, a malformed
+// request or an unknown backend name is an error value, never an abort.
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +21,36 @@
 #include "serve/query_server.h"
 
 using namespace cgnp;
+
+namespace {
+
+void PrintResponses(const std::vector<serve::SearchRequest>& batch,
+                    const std::vector<serve::SearchResponse>& responses) {
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].status.ok()) {
+      std::printf("query %3lld -> error: %s\n",
+                  static_cast<long long>(batch[i].query),
+                  responses[i].status.ToString().c_str());
+      continue;
+    }
+    std::printf("query %3lld -> %3zu members, %.2f ms%s\n",
+                static_cast<long long>(batch[i].query),
+                responses[i].members.size(), responses[i].latency_ms,
+                responses[i].cache_hit ? "  (context cache hit)" : "");
+  }
+}
+
+void PrintStats(const serve::ServerStats& stats, float threshold) {
+  std::printf(
+      "[backend=%s threshold=%.2f] served %llu requests (%llu errors) at "
+      "%.1f QPS | p50 %.2f ms, p99 %.2f ms | cache hit rate %.0f%%\n",
+      stats.backend.c_str(), threshold,
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.errors), stats.qps, stats.p50_ms,
+      stats.p99_ms, 100.0 * stats.cache_hit_rate);
+}
+
+}  // namespace
 
 int main() {
   // ---- Phase 1: train once, checkpoint. ----------------------------------
@@ -30,52 +65,92 @@ int main() {
   data_cfg.attrs_per_community_pool = 6;
   Graph g = GenerateSyntheticGraph(data_cfg, &rng);
 
-  CommunitySearchEngine::Options opt;
-  opt.model.encoder = GnnKind::kGcn;
-  opt.model.hidden_dim = 32;
-  opt.model.epochs = 10;
-  opt.tasks.subgraph_size = 120;
-  opt.tasks.shots = 2;
-  opt.num_train_tasks = 16;
-  CommunitySearchEngine trainer(opt);
+  CgnpConfig model_cfg;
+  model_cfg.encoder = GnnKind::kGcn;
+  model_cfg.hidden_dim = 32;
+  model_cfg.epochs = 10;
+  TaskConfig task_cfg;
+  task_cfg.subgraph_size = 120;
+  task_cfg.shots = 2;
+  auto built = EngineBuilder()
+                   .WithModel(model_cfg)
+                   .WithTasks(task_cfg)
+                   .WithTrainTasks(16)
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "engine config rejected: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  CommunitySearchEngine trainer = std::move(built).value();
   std::printf("meta-training on %lld nodes...\n",
               static_cast<long long>(g.num_nodes()));
-  trainer.Fit(g);
+  if (const Status fitted = trainer.Fit(g); !fitted.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", fitted.ToString().c_str());
+    return 1;
+  }
 
   const char* ckpt = "cgnp_engine.ckpt";
-  trainer.SaveCheckpoint(ckpt);
+  if (const Status saved = trainer.SaveCheckpoint(ckpt); !saved.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
   std::printf("checkpoint written to %s\n", ckpt);
 
   // ---- Phase 2: restore in a "fresh process" and serve. ------------------
-  CommunitySearchEngine engine = CommunitySearchEngine::LoadCheckpoint(ckpt);
-  serve::QueryServer server(engine, /*num_threads=*/4,
-                            /*cache_capacity=*/64);
+  // The builder routes checkpoint loading through the same validated path;
+  // a truncated or foreign file would land in this error branch instead of
+  // taking the process down.
+  auto restored = EngineBuilder().FromCheckpoint(ckpt).Build();
+  if (!restored.ok()) {
+    std::fprintf(stderr, "checkpoint rejected: %s\n",
+                 restored.status().ToString().c_str());
+    return 1;
+  }
+  CommunitySearchEngine engine = std::move(restored).value();
+
+  serve::ServeOptions serve_opt;
+  serve_opt.backend = "cgnp";
+  serve_opt.num_threads = 4;
+  serve_opt.cache_capacity = 64;
+  auto server = serve::QueryServer::Create(&engine, serve_opt);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server construction failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
 
   // A query stream with repeats: three users asking about node 17's
-  // community, plus a spread of other queries.
+  // community, plus a spread of other queries -- and one malformed request
+  // (node 9999 does not exist) to show the per-response error path.
   std::vector<serve::SearchRequest> batch;
-  for (NodeId q : {17, 17, 17, 42, 99, 256, 42, 500, 17, 99}) {
+  for (NodeId q : {17, 17, 17, 42, 99, 256, 42, 9999, 17, 99}) {
     serve::SearchRequest req;
     req.graph = &g;
     req.graph_id = 1;
     req.query = q;
     batch.push_back(req);
   }
-  const auto responses = server.ServeBatch(batch);
+  const auto responses = (*server)->ServeBatch(batch);
+  PrintResponses(batch, responses);
+  PrintStats((*server)->Stats(), batch.front().threshold);
 
-  for (size_t i = 0; i < responses.size(); ++i) {
-    std::printf("query %3lld -> %3zu members, %.2f ms%s\n",
-                static_cast<long long>(batch[i].query),
-                responses[i].members.size(), responses[i].latency_ms,
-                responses[i].cache_hit ? "  (context cache hit)" : "");
+  // ---- Phase 3: same serving machinery, classical backend by name. -------
+  serve::ServeOptions classical_opt;
+  classical_opt.backend = "kcore";  // just a string -- try "ktruss", "ctc"...
+  classical_opt.num_threads = 4;
+  auto classical = serve::QueryServer::Create(nullptr, classical_opt);
+  if (!classical.ok()) {
+    std::fprintf(stderr, "classical server failed: %s\n",
+                 classical.status().ToString().c_str());
+    return 1;
   }
-
-  const auto stats = server.Stats();
-  std::printf(
-      "\nserved %llu requests at %.1f QPS | p50 %.2f ms, p99 %.2f ms | "
-      "cache hit rate %.0f%%\n",
-      static_cast<unsigned long long>(stats.requests), stats.qps,
-      stats.p50_ms, stats.p99_ms, 100.0 * stats.cache_hit_rate);
+  std::printf("\nswitching backend by registry name -> %s\n",
+              (*classical)->backend_name().c_str());
+  const auto classical_responses = (*classical)->ServeBatch(batch);
+  PrintResponses(batch, classical_responses);
+  PrintStats((*classical)->Stats(), batch.front().threshold);
 
   std::remove(ckpt);
   return 0;

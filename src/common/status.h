@@ -1,0 +1,157 @@
+// Status-based error model for the public API (v1).
+//
+// The library distinguishes two failure classes:
+//   * programming errors / violated internal invariants -- still handled by
+//     CGNP_CHECK (common/check.h), which aborts; these are bugs, not
+//     conditions a caller can recover from;
+//   * bad *input* reachable from the public API -- malformed queries,
+//     corrupt or truncated checkpoints, unknown backend names, unloadable
+//     graph files. These are reported as `Status` / `StatusOr<T>` return
+//     values and must never abort a serving process.
+//
+// The design follows the abseil/protobuf convention (canonical error
+// codes, ok() fast path, message payload) without the dependency: the
+// library is exception-free, so StatusOr is the only error channel.
+//
+// Conventions (see docs/API.md):
+//   * functions that can fail on user input return Status (no result) or
+//     StatusOr<T> (result or error) -- never a sentinel value;
+//   * Status is annotated [[nodiscard]]: ignoring an error is a compile
+//     warning;
+//   * accessing `value()` of a non-OK StatusOr is a programming error and
+//     CHECK-fails with the underlying message.
+#ifndef CGNP_COMMON_STATUS_H_
+#define CGNP_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cgnp {
+
+// Canonical error space, mirroring the subset of absl::StatusCode the
+// library needs. Keep values stable: they are reported in serving JSON.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed request / config (caller's input)
+  kNotFound = 2,          // missing file, unknown backend name
+  kFailedPrecondition = 3,// valid call in the wrong state (Search before Fit)
+  kOutOfRange = 4,        // node id outside [0, num_nodes)
+  kDataLoss = 5,          // corrupt / truncated / foreign checkpoint
+  kUnimplemented = 6,     // backend lacks the requested capability
+  kInternal = 7,          // invariant failure surfaced as data (rare)
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // OK by default; the common success path allocates nothing.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: query node 812 out of range [0, 500)".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Factory helpers, mirroring absl's:
+//   return InvalidArgumentError("threshold must be in (0, 1]");
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Result-or-error. Deliberately minimal: no exceptions -- a Status plus an
+// optional T slot, so payload types need not be default-constructible
+// (e.g. StatusOr<CommunitySearchEngine>).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a value (the success path reads naturally:
+  // `return result;`) and from a non-OK Status (`return NotFoundError(...)`).
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    CGNP_CHECK(!status_.ok())
+        << " StatusOr constructed from an OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Violations are programming errors and abort with
+  // the underlying message (the caller skipped the error check).
+  const T& value() const& {
+    CGNP_CHECK(ok()) << " StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CGNP_CHECK(ok()) << " StatusOr::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CGNP_CHECK(ok()) << " StatusOr::value on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value() if ok, `fallback` otherwise.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a real result
+  std::optional<T> value_;
+};
+
+}  // namespace cgnp
+
+// Propagates a non-OK Status to the caller:
+//   CGNP_RETURN_IF_ERROR(ValidateConfig(cfg));
+#define CGNP_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::cgnp::Status cgnp_status_ = (expr);            \
+    if (!cgnp_status_.ok()) return cgnp_status_;     \
+  } while (false)
+
+// Unwraps a StatusOr into `lhs`, propagating errors:
+//   CGNP_ASSIGN_OR_RETURN(LocalQueryTask task, BuildQueryTask(...));
+#define CGNP_ASSIGN_OR_RETURN(lhs, expr)                      \
+  CGNP_ASSIGN_OR_RETURN_IMPL_(                                \
+      CGNP_STATUS_CONCAT_(cgnp_statusor_, __LINE__), lhs, expr)
+#define CGNP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+#define CGNP_STATUS_CONCAT_(a, b) CGNP_STATUS_CONCAT_IMPL_(a, b)
+#define CGNP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CGNP_COMMON_STATUS_H_

@@ -1,0 +1,72 @@
+#include "core/cgnp_searcher.h"
+
+#include <string>
+#include <utility>
+
+namespace cgnp {
+
+namespace {
+
+class CgnpSearcher : public CommunitySearcher {
+ public:
+  explicit CgnpSearcher(std::shared_ptr<const CommunitySearchEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  const std::string& name() const override {
+    static const std::string kName = "cgnp";
+    return kName;
+  }
+
+  StatusOr<QueryResult> Search(const Graph& g, NodeId query,
+                               const std::vector<QueryExample>& labelled,
+                               const QueryOptions& options) const override {
+    // Engine::Query performs the full v1 validation (trained state,
+    // threshold, node-id ranges) and fills backend/probs/timing.
+    return engine_->Query(g, query, labelled, options);
+  }
+
+ private:
+  const std::shared_ptr<const CommunitySearchEngine> engine_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CommunitySearcher>> MakeCgnpSearcher(
+    std::shared_ptr<const CommunitySearchEngine> engine) {
+  if (engine == nullptr) {
+    return InvalidArgumentError("MakeCgnpSearcher needs a non-null engine");
+  }
+  if (!engine->trained()) {
+    return FailedPreconditionError(
+        "MakeCgnpSearcher needs a trained engine (Fit it or restore a "
+        "trained checkpoint first)");
+  }
+  return std::unique_ptr<CommunitySearcher>(
+      new CgnpSearcher(std::move(engine)));
+}
+
+// Hook consumed by the registry's built-in table (cs/searcher.cc). The
+// factory restores the engine named by SearcherConfig::checkpoint, so
+// "cgnp" is selectable by string exactly like the classical backends.
+SearcherFactory MakeCgnpSearcherFactory() {
+  return [](const SearcherConfig& config)
+             -> StatusOr<std::unique_ptr<CommunitySearcher>> {
+    if (config.checkpoint.empty()) {
+      return InvalidArgumentError(
+          "the \"cgnp\" backend needs SearcherConfig::checkpoint (an "
+          "engine checkpoint path); to wrap an in-memory engine use "
+          "MakeCgnpSearcher (core/cgnp_searcher.h)");
+    }
+    CGNP_ASSIGN_OR_RETURN(
+        CommunitySearchEngine engine,
+        CommunitySearchEngine::LoadCheckpoint(config.checkpoint));
+    if (!engine.trained()) {
+      return FailedPreconditionError(
+          "engine checkpoint holds no trained model: " + config.checkpoint);
+    }
+    return MakeCgnpSearcher(
+        std::make_shared<const CommunitySearchEngine>(std::move(engine)));
+  };
+}
+
+}  // namespace cgnp

@@ -2,7 +2,6 @@
 
 #include <fstream>
 
-#include "common/check.h"
 #include "tensor/io.h"
 
 namespace cgnp {
@@ -25,21 +24,11 @@ void WriteCgnpConfig(std::ostream& out, const CgnpConfig& cfg) {
   io::WriteU64(out, cfg.seed);
 }
 
-CgnpConfig ReadCgnpConfig(std::istream& in) {
+StatusOr<CgnpConfig> ReadCgnpConfig(std::istream& in) {
   CgnpConfig cfg;
   const uint32_t encoder = io::ReadU32(in);
-  CGNP_CHECK_LE(encoder, static_cast<uint32_t>(GnnKind::kSage))
-      << " corrupt checkpoint: bad encoder kind";
-  cfg.encoder = static_cast<GnnKind>(encoder);
   const uint32_t commutative = io::ReadU32(in);
-  CGNP_CHECK_LE(commutative,
-                static_cast<uint32_t>(CommutativeOp::kCrossAttention))
-      << " corrupt checkpoint: bad commutative op";
-  cfg.commutative = static_cast<CommutativeOp>(commutative);
   const uint32_t decoder = io::ReadU32(in);
-  CGNP_CHECK_LE(decoder, static_cast<uint32_t>(DecoderKind::kGnn))
-      << " corrupt checkpoint: bad decoder kind";
-  cfg.decoder = static_cast<DecoderKind>(decoder);
   cfg.hidden_dim = io::ReadI64(in);
   cfg.num_layers = io::ReadI64(in);
   cfg.decoder_layers = io::ReadI64(in);
@@ -47,8 +36,25 @@ CgnpConfig ReadCgnpConfig(std::istream& in) {
   cfg.lr = io::ReadF32(in);
   cfg.epochs = io::ReadI64(in);
   cfg.seed = io::ReadU64(in);
-  CGNP_CHECK_GT(cfg.hidden_dim, 0) << " corrupt checkpoint: hidden_dim";
-  CGNP_CHECK_GT(cfg.num_layers, 0) << " corrupt checkpoint: num_layers";
+  if (!in.good()) return DataLossError("truncated checkpoint: model config");
+  if (encoder > static_cast<uint32_t>(GnnKind::kSage)) {
+    return DataLossError("corrupt checkpoint: bad encoder kind");
+  }
+  if (commutative > static_cast<uint32_t>(CommutativeOp::kCrossAttention)) {
+    return DataLossError("corrupt checkpoint: bad commutative op");
+  }
+  if (decoder > static_cast<uint32_t>(DecoderKind::kGnn)) {
+    return DataLossError("corrupt checkpoint: bad decoder kind");
+  }
+  cfg.encoder = static_cast<GnnKind>(encoder);
+  cfg.commutative = static_cast<CommutativeOp>(commutative);
+  cfg.decoder = static_cast<DecoderKind>(decoder);
+  if (cfg.hidden_dim <= 0) {
+    return DataLossError("corrupt checkpoint: hidden_dim");
+  }
+  if (cfg.num_layers <= 0) {
+    return DataLossError("corrupt checkpoint: num_layers");
+  }
   return cfg;
 }
 
@@ -61,7 +67,7 @@ void WriteTaskConfig(std::ostream& out, const TaskConfig& cfg) {
   io::WriteU32(out, cfg.clamp_samples ? 1 : 0);
 }
 
-TaskConfig ReadTaskConfig(std::istream& in) {
+StatusOr<TaskConfig> ReadTaskConfig(std::istream& in) {
   TaskConfig cfg;
   cfg.subgraph_size = io::ReadI64(in);
   cfg.shots = io::ReadI64(in);
@@ -69,7 +75,10 @@ TaskConfig ReadTaskConfig(std::istream& in) {
   cfg.pos_samples = io::ReadI64(in);
   cfg.neg_samples = io::ReadI64(in);
   cfg.clamp_samples = io::ReadU32(in) != 0;
-  CGNP_CHECK_GT(cfg.subgraph_size, 0) << " corrupt checkpoint: subgraph_size";
+  if (!in.good()) return DataLossError("truncated checkpoint: task config");
+  if (cfg.subgraph_size <= 0) {
+    return DataLossError("corrupt checkpoint: subgraph_size");
+  }
   return cfg;
 }
 
@@ -79,37 +88,59 @@ void CgnpModelWrite(std::ostream& out, const CgnpModel& model) {
   model.WriteParameters(out);
 }
 
-std::unique_ptr<CgnpModel> CgnpModelRead(std::istream& in) {
-  const CgnpConfig cfg = ReadCgnpConfig(in);
+StatusOr<std::unique_ptr<CgnpModel>> CgnpModelRead(std::istream& in) {
+  CGNP_ASSIGN_OR_RETURN(const CgnpConfig cfg, ReadCgnpConfig(in));
   const int64_t feature_dim = io::ReadI64(in);
-  CGNP_CHECK_GT(feature_dim, 0) << " corrupt checkpoint: feature_dim";
+  if (!in.good()) return DataLossError("truncated checkpoint: feature_dim");
+  if (feature_dim <= 0) {
+    return DataLossError("corrupt checkpoint: feature_dim");
+  }
   // Build the module tree (parameter shapes derive from the config), then
   // overwrite the freshly initialised values with the stored ones.
   Rng rng(cfg.seed);
   auto model = std::make_unique<CgnpModel>(cfg, feature_dim, &rng);
-  model->ReadParameters(in);
+  if (!model->ReadParameters(in)) {
+    return DataLossError(
+        "corrupt or truncated checkpoint: model parameters do not match "
+        "the stored config's module structure");
+  }
   model->SetTraining(false);  // checkpoints are served, not resumed
   return model;
 }
 
-void CgnpModelSave(const CgnpModel& model, const std::string& path) {
+Status CgnpModelSave(const CgnpModel& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  CGNP_CHECK(out.good()) << " cannot write model checkpoint: " << path;
+  if (!out.good()) {
+    return NotFoundError("cannot write model checkpoint: " + path);
+  }
   io::WriteU32(out, kModelMagic);
   io::WriteU32(out, kModelVersion);
   CgnpModelWrite(out, model);
-  CGNP_CHECK(out.good()) << " short write to model checkpoint: " << path;
+  out.flush();
+  if (!out.good()) {
+    return DataLossError("short write to model checkpoint: " + path);
+  }
+  return Status::Ok();
 }
 
-std::unique_ptr<CgnpModel> CgnpModelLoad(const std::string& path) {
+StatusOr<std::unique_ptr<CgnpModel>> CgnpModelLoad(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  CGNP_CHECK(in.good()) << " cannot read model checkpoint: " << path;
-  CGNP_CHECK_EQ(io::ReadU32(in), kModelMagic)
-      << " not a cgnp model checkpoint: " << path;
-  CGNP_CHECK_EQ(io::ReadU32(in), kModelVersion)
-      << " unsupported model checkpoint version: " << path;
-  auto model = CgnpModelRead(in);
-  CGNP_CHECK(in.good()) << " truncated model checkpoint: " << path;
+  if (!in.good()) {
+    return NotFoundError("cannot read model checkpoint: " + path);
+  }
+  const uint32_t magic = io::ReadU32(in);
+  const uint32_t version = io::ReadU32(in);
+  if (!in.good() || magic != kModelMagic) {
+    return DataLossError("not a cgnp model checkpoint: " + path);
+  }
+  if (version != kModelVersion) {
+    return DataLossError("unsupported model checkpoint version " +
+                         std::to_string(version) + ": " + path);
+  }
+  CGNP_ASSIGN_OR_RETURN(auto model, CgnpModelRead(in));
+  if (!in.good()) {
+    return DataLossError("truncated model checkpoint: " + path);
+  }
   return model;
 }
 

@@ -2,9 +2,14 @@
 // as (config, feature_dim, parameter tensors with shape headers) so it can
 // be reconstructed in a fresh process -- train once, serve forever. Loading
 // rebuilds the module tree from the stored config and then overwrites every
-// parameter, validating tensor count and shapes along the way; any
-// mismatch (or a truncated / foreign file) aborts instead of silently
-// serving a corrupt model.
+// parameter, validating tensor count and shapes along the way.
+//
+// Error model (API v1): checkpoint files are external input, so every
+// load-path failure -- missing file, foreign magic, unsupported version,
+// corrupt field, truncation -- is returned as a non-OK Status (typically
+// NotFound or DataLoss) instead of aborting; a serving process can reject
+// a bad file and keep running. Save paths report unwritable files and
+// short writes the same way.
 //
 // CommunitySearchEngine has its own framing on top of this (it adds the
 // task-sampling options and attribute dimensionality); see engine.h.
@@ -15,25 +20,27 @@
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "core/cgnp.h"
 
 namespace cgnp {
 
 // Whole-file save/load with magic + version framing.
-void CgnpModelSave(const CgnpModel& model, const std::string& path);
-std::unique_ptr<CgnpModel> CgnpModelLoad(const std::string& path);
+Status CgnpModelSave(const CgnpModel& model, const std::string& path);
+StatusOr<std::unique_ptr<CgnpModel>> CgnpModelLoad(const std::string& path);
 
 // Stream-level payload (config + feature_dim + parameters, no framing),
 // for embedding a model inside a larger checkpoint file.
 void CgnpModelWrite(std::ostream& out, const CgnpModel& model);
-std::unique_ptr<CgnpModel> CgnpModelRead(std::istream& in);
+StatusOr<std::unique_ptr<CgnpModel>> CgnpModelRead(std::istream& in);
 
 // Field-by-field config (de)serialisation, shared by the model and engine
-// checkpoint formats.
+// checkpoint formats. Readers validate every field and return DataLoss on
+// corrupt values or truncation.
 void WriteCgnpConfig(std::ostream& out, const CgnpConfig& cfg);
-CgnpConfig ReadCgnpConfig(std::istream& in);
+StatusOr<CgnpConfig> ReadCgnpConfig(std::istream& in);
 void WriteTaskConfig(std::ostream& out, const TaskConfig& cfg);
-TaskConfig ReadTaskConfig(std::istream& in);
+StatusOr<TaskConfig> ReadTaskConfig(std::istream& in);
 
 }  // namespace cgnp
 

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 
 #include "common/check.h"
@@ -26,10 +28,18 @@ constexpr uint32_t kEngineVersion = 1;
 
 }  // namespace
 
-LocalQueryTask BuildQueryTask(const Graph& g, NodeId query,
-                              const std::vector<QueryExample>& labelled,
-                              const TaskConfig& tasks, int64_t attribute_dim,
-                              uint64_t seed) {
+StatusOr<LocalQueryTask> BuildQueryTask(
+    const Graph& g, NodeId query, const std::vector<QueryExample>& labelled,
+    const TaskConfig& tasks, int64_t attribute_dim, uint64_t seed) {
+  // Queries and support observations arrive from external callers (serving
+  // requests), so they are range-checked rather than trusted -- with the
+  // same validator every registry backend uses.
+  CGNP_RETURN_IF_ERROR(ValidateQueryInput(g, query, labelled));
+  if (tasks.subgraph_size <= 0) {
+    return InvalidArgumentError("task subgraph_size must be positive, got " +
+                                std::to_string(tasks.subgraph_size));
+  }
+
   LocalQueryTask out;
   Rng rng(seed ^ static_cast<uint64_t>(query + 1));
   out.nodes = BfsSample(g, query, tasks.subgraph_size, &rng);
@@ -40,22 +50,15 @@ LocalQueryTask BuildQueryTask(const Graph& g, NodeId query,
   out.query = new_of_old[query];
 
   // Remap user-provided support observations into the task subgraph.
-  // Support ids come from external callers (serving requests), so they are
-  // range-checked rather than trusted.
-  const NodeId n = g.num_nodes();
-  auto checked = [n](NodeId v) {
-    CGNP_CHECK(v >= 0 && v < n) << " support node id out of range";
-    return v;
-  };
   for (const auto& ex : labelled) {
-    if (new_of_old[checked(ex.query)] < 0) continue;
+    if (new_of_old[ex.query] < 0) continue;
     QueryExample local;
     local.query = new_of_old[ex.query];
     for (NodeId v : ex.pos) {
-      if (new_of_old[checked(v)] >= 0) local.pos.push_back(new_of_old[v]);
+      if (new_of_old[v] >= 0) local.pos.push_back(new_of_old[v]);
     }
     for (NodeId v : ex.neg) {
-      if (new_of_old[checked(v)] >= 0) local.neg.push_back(new_of_old[v]);
+      if (new_of_old[v] >= 0) local.neg.push_back(new_of_old[v]);
     }
     out.support.push_back(std::move(local));
   }
@@ -88,9 +91,14 @@ std::vector<NodeId> MembersFromContext(const CgnpModel& model,
 CommunitySearchEngine::CommunitySearchEngine(Options options)
     : options_(std::move(options)) {}
 
-void CommunitySearchEngine::Fit(const Graph& g) {
-  CGNP_CHECK(g.has_communities())
-      << " Fit needs ground-truth communities on the graph";
+Status CommunitySearchEngine::Fit(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    return InvalidArgumentError("cannot fit on an empty graph");
+  }
+  if (!g.has_communities()) {
+    return InvalidArgumentError(
+        "Fit needs ground-truth communities on the graph");
+  }
   Rng rng(options_.seed);
   attribute_dim_ = AttributeDimOf(g);
   std::vector<CsTask> train;
@@ -100,7 +108,12 @@ void CommunitySearchEngine::Fit(const Graph& g) {
       train.push_back(std::move(t));
     }
   }
-  CGNP_CHECK(!train.empty()) << " could not sample any training task";
+  if (train.empty()) {
+    return InvalidArgumentError(
+        "could not sample any training task: the task configuration "
+        "(subgraph_size / pos_samples / neg_samples) is infeasible for "
+        "this graph's communities");
+  }
   std::vector<CsTask> valid;
   for (int64_t i = 0; i < options_.num_valid_tasks; ++i) {
     CsTask t;
@@ -120,27 +133,63 @@ void CommunitySearchEngine::Fit(const Graph& g) {
     CgnpMetaTrain(model_.get(), train, options_.model.epochs,
                   options_.model.lr, options_.model.seed);
   }
+  return Status::Ok();
 }
 
-std::vector<NodeId> CommunitySearchEngine::Search(
+StatusOr<QueryResult> CommunitySearchEngine::Query(
     const Graph& g, NodeId query, const std::vector<QueryExample>& labelled,
-    float threshold) {
-  CGNP_CHECK(trained()) << " call Fit before Search";
-  LocalQueryTask task = BuildQueryTask(g, query, labelled, options_.tasks,
-                                       attribute_dim_, options_.seed);
-  CGNP_CHECK_EQ(task.graph.feature_dim(), feature_dim_)
-      << " query graph features incompatible with the fitted model";
+    const QueryOptions& options) const {
+  if (!trained()) {
+    return FailedPreconditionError(
+        "engine is not trained: call Fit or restore a trained checkpoint "
+        "before querying");
+  }
+  // NaN fails both comparisons, so the negated form rejects it too.
+  if (!(options.threshold >= 0.0f && options.threshold <= 1.0f)) {
+    return InvalidArgumentError("threshold must be in [0, 1], got " +
+                                std::to_string(options.threshold));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  CGNP_ASSIGN_OR_RETURN(
+      LocalQueryTask task,
+      BuildQueryTask(g, query, labelled, options_.tasks, attribute_dim_,
+                     options_.seed));
+  if (task.graph.feature_dim() != feature_dim_) {
+    return InvalidArgumentError(
+        "query graph features incompatible with the fitted model: task "
+        "feature_dim " + std::to_string(task.graph.feature_dim()) +
+        " vs model " + std::to_string(feature_dim_));
+  }
 
   // Inference only: never record tape (see the thread-safety contract on
   // CgnpModel's const methods in core/cgnp.h).
   NoGradGuard no_grad;
   Tensor context = model_->TaskContext(task.graph, task.support, nullptr);
-  return MembersFromContext(*model_, task, context, threshold);
+  QueryResult result;
+  result.backend = "cgnp";
+  result.members = MembersFromContext(*model_, task, context,
+                                      options.threshold, &result.probs);
+  const auto end = std::chrono::steady_clock::now();
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
 }
 
-void CommunitySearchEngine::SaveCheckpoint(const std::string& path) const {
+StatusOr<std::vector<NodeId>> CommunitySearchEngine::Search(
+    const Graph& g, NodeId query, const std::vector<QueryExample>& labelled,
+    float threshold) const {
+  QueryOptions options;
+  options.threshold = threshold;
+  CGNP_ASSIGN_OR_RETURN(QueryResult result,
+                        Query(g, query, labelled, options));
+  return std::move(result.members);
+}
+
+Status CommunitySearchEngine::SaveCheckpoint(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
-  CGNP_CHECK(out.good()) << " cannot write engine checkpoint: " << path;
+  if (!out.good()) {
+    return NotFoundError("cannot write engine checkpoint: " + path);
+  }
   io::WriteU32(out, kEngineMagic);
   io::WriteU32(out, kEngineVersion);
   WriteCgnpConfig(out, options_.model);
@@ -153,20 +202,31 @@ void CommunitySearchEngine::SaveCheckpoint(const std::string& path) const {
   io::WriteI64(out, attribute_dim_);
   io::WriteU32(out, trained() ? 1 : 0);
   if (trained()) CgnpModelWrite(out, *model_);
-  CGNP_CHECK(out.good()) << " short write to engine checkpoint: " << path;
+  out.flush();
+  if (!out.good()) {
+    return DataLossError("short write to engine checkpoint: " + path);
+  }
+  return Status::Ok();
 }
 
-CommunitySearchEngine CommunitySearchEngine::LoadCheckpoint(
+StatusOr<CommunitySearchEngine> CommunitySearchEngine::LoadCheckpoint(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  CGNP_CHECK(in.good()) << " cannot read engine checkpoint: " << path;
-  CGNP_CHECK_EQ(io::ReadU32(in), kEngineMagic)
-      << " not an engine checkpoint: " << path;
-  CGNP_CHECK_EQ(io::ReadU32(in), kEngineVersion)
-      << " unsupported engine checkpoint version: " << path;
+  if (!in.good()) {
+    return NotFoundError("cannot read engine checkpoint: " + path);
+  }
+  const uint32_t magic = io::ReadU32(in);
+  const uint32_t version = io::ReadU32(in);
+  if (!in.good() || magic != kEngineMagic) {
+    return DataLossError("not an engine checkpoint: " + path);
+  }
+  if (version != kEngineVersion) {
+    return DataLossError("unsupported engine checkpoint version " +
+                         std::to_string(version) + ": " + path);
+  }
   Options options;
-  options.model = ReadCgnpConfig(in);
-  options.tasks = ReadTaskConfig(in);
+  CGNP_ASSIGN_OR_RETURN(options.model, ReadCgnpConfig(in));
+  CGNP_ASSIGN_OR_RETURN(options.tasks, ReadTaskConfig(in));
   options.num_train_tasks = io::ReadI64(in);
   options.num_valid_tasks = io::ReadI64(in);
   options.early_stop_patience = io::ReadI64(in);
@@ -174,13 +234,136 @@ CommunitySearchEngine CommunitySearchEngine::LoadCheckpoint(
   CommunitySearchEngine engine(std::move(options));
   engine.feature_dim_ = io::ReadI64(in);
   engine.attribute_dim_ = io::ReadI64(in);
-  if (io::ReadU32(in) != 0) {
-    engine.model_ = CgnpModelRead(in);
-    CGNP_CHECK_EQ(engine.model_->feature_dim(), engine.feature_dim_)
-        << " engine checkpoint model/feature_dim mismatch";
+  const uint32_t has_model = io::ReadU32(in);
+  if (!in.good()) {
+    return DataLossError("truncated engine checkpoint: " + path);
   }
-  CGNP_CHECK(in.good()) << " truncated engine checkpoint: " << path;
+  if (has_model != 0) {
+    CGNP_ASSIGN_OR_RETURN(engine.model_, CgnpModelRead(in));
+    if (engine.model_->feature_dim() != engine.feature_dim_) {
+      return DataLossError("engine checkpoint model/feature_dim mismatch: " +
+                           path);
+    }
+  }
+  if (!in.good()) {
+    return DataLossError("truncated engine checkpoint: " + path);
+  }
   return engine;
+}
+
+// --- EngineBuilder ----------------------------------------------------------
+
+Status ValidateEngineOptions(const CommunitySearchEngine::Options& o) {
+  const CgnpConfig& m = o.model;
+  if (m.hidden_dim <= 0) {
+    return InvalidArgumentError("model.hidden_dim must be positive, got " +
+                                std::to_string(m.hidden_dim));
+  }
+  if (m.num_layers <= 0) {
+    return InvalidArgumentError("model.num_layers must be positive, got " +
+                                std::to_string(m.num_layers));
+  }
+  if (m.decoder_layers <= 0) {
+    return InvalidArgumentError("model.decoder_layers must be positive, got " +
+                                std::to_string(m.decoder_layers));
+  }
+  if (!(m.dropout >= 0.0f && m.dropout < 1.0f)) {
+    return InvalidArgumentError("model.dropout must be in [0, 1), got " +
+                                std::to_string(m.dropout));
+  }
+  if (!(m.lr > 0.0f) || !std::isfinite(m.lr)) {
+    return InvalidArgumentError("model.lr must be positive and finite, got " +
+                                std::to_string(m.lr));
+  }
+  if (m.epochs <= 0) {
+    return InvalidArgumentError("model.epochs must be positive, got " +
+                                std::to_string(m.epochs));
+  }
+  const TaskConfig& t = o.tasks;
+  if (t.subgraph_size <= 0) {
+    return InvalidArgumentError("tasks.subgraph_size must be positive, got " +
+                                std::to_string(t.subgraph_size));
+  }
+  if (t.shots <= 0) {
+    return InvalidArgumentError("tasks.shots must be positive, got " +
+                                std::to_string(t.shots));
+  }
+  if (t.query_set_size <= 0) {
+    return InvalidArgumentError("tasks.query_set_size must be positive, got " +
+                                std::to_string(t.query_set_size));
+  }
+  if (t.pos_samples <= 0) {
+    return InvalidArgumentError("tasks.pos_samples must be positive, got " +
+                                std::to_string(t.pos_samples));
+  }
+  if (t.neg_samples < 0) {
+    return InvalidArgumentError("tasks.neg_samples must be >= 0, got " +
+                                std::to_string(t.neg_samples));
+  }
+  if (o.num_train_tasks <= 0) {
+    return InvalidArgumentError("num_train_tasks must be positive, got " +
+                                std::to_string(o.num_train_tasks));
+  }
+  if (o.num_valid_tasks < 0) {
+    return InvalidArgumentError("num_valid_tasks must be >= 0, got " +
+                                std::to_string(o.num_valid_tasks));
+  }
+  if (o.num_valid_tasks > 0 && o.early_stop_patience <= 0) {
+    return InvalidArgumentError("early_stop_patience must be positive, got " +
+                                std::to_string(o.early_stop_patience));
+  }
+  return Status::Ok();
+}
+
+EngineBuilder& EngineBuilder::WithModel(const CgnpConfig& cfg) {
+  options_.model = cfg;
+  any_setter_called_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithTasks(const TaskConfig& cfg) {
+  options_.tasks = cfg;
+  any_setter_called_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithTrainTasks(int64_t num_train_tasks) {
+  options_.num_train_tasks = num_train_tasks;
+  any_setter_called_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithValidation(int64_t num_valid_tasks,
+                                             int64_t early_stop_patience) {
+  options_.num_valid_tasks = num_valid_tasks;
+  options_.early_stop_patience = early_stop_patience;
+  any_setter_called_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithSeed(uint64_t seed) {
+  options_.seed = seed;
+  any_setter_called_ = true;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::FromCheckpoint(std::string path) {
+  checkpoint_path_ = std::move(path);
+  return *this;
+}
+
+StatusOr<CommunitySearchEngine> EngineBuilder::Build() const {
+  if (!checkpoint_path_.empty()) {
+    if (any_setter_called_) {
+      return InvalidArgumentError(
+          "FromCheckpoint restores the full stored configuration; do not "
+          "combine it with WithModel/WithTasks/WithTrainTasks/"
+          "WithValidation/WithSeed");
+    }
+    return CommunitySearchEngine::LoadCheckpoint(checkpoint_path_);
+  }
+  CGNP_RETURN_IF_ERROR(ValidateEngineOptions(options_));
+  return CommunitySearchEngine(options_);
 }
 
 }  // namespace cgnp

@@ -4,15 +4,15 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "common/check.h"
-
 namespace cgnp {
 
-Graph LoadGraphFromFiles(const std::string& edge_path,
-                         const std::string& community_path,
-                         const std::string& attribute_path) {
+StatusOr<Graph> LoadGraphFromFiles(const std::string& edge_path,
+                                   const std::string& community_path,
+                                   const std::string& attribute_path) {
   std::ifstream in(edge_path);
-  CGNP_CHECK(in.good()) << " cannot open edge file: " << edge_path;
+  if (!in.good()) {
+    return NotFoundError("cannot open edge file: " + edge_path);
+  }
   std::vector<std::pair<int64_t, int64_t>> raw_edges;
   std::unordered_map<int64_t, NodeId> id_map;
   auto intern = [&id_map](int64_t raw) {
@@ -21,11 +21,21 @@ Graph LoadGraphFromFiles(const std::string& edge_path,
     return it->second;
   };
   std::string line;
+  int64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     int64_t u, v;
-    if (ls >> u >> v) raw_edges.emplace_back(u, v);
+    if (!(ls >> u >> v)) {
+      return DataLossError("bad edge line " + std::to_string(line_no) +
+                           " in " + edge_path + ": \"" + line + "\"");
+    }
+    if (u < 0 || v < 0) {
+      return DataLossError("negative node id on edge line " +
+                           std::to_string(line_no) + " in " + edge_path);
+    }
+    raw_edges.emplace_back(u, v);
   }
   // Intern in first-seen order for stable ids.
   for (auto& [u, v] : raw_edges) {
@@ -37,7 +47,9 @@ Graph LoadGraphFromFiles(const std::string& edge_path,
 
   if (!community_path.empty()) {
     std::ifstream cin(community_path);
-    CGNP_CHECK(cin.good()) << " cannot open community file: " << community_path;
+    if (!cin.good()) {
+      return NotFoundError("cannot open community file: " + community_path);
+    }
     std::vector<int64_t> comm(id_map.size(), -1);
     int64_t cid = 0;
     while (std::getline(cin, line)) {
@@ -58,13 +70,20 @@ Graph LoadGraphFromFiles(const std::string& edge_path,
 
   if (!attribute_path.empty()) {
     std::ifstream ain(attribute_path);
-    CGNP_CHECK(ain.good()) << " cannot open attribute file: " << attribute_path;
+    if (!ain.good()) {
+      return NotFoundError("cannot open attribute file: " + attribute_path);
+    }
     std::vector<std::vector<int32_t>> attrs(id_map.size());
+    line_no = 0;
     while (std::getline(ain, line)) {
+      ++line_no;
       if (line.empty() || line[0] == '#') continue;
       std::istringstream ls(line);
       int64_t raw;
-      CGNP_CHECK(static_cast<bool>(ls >> raw)) << " bad attribute line";
+      if (!(ls >> raw)) {
+        return DataLossError("bad attribute line " + std::to_string(line_no) +
+                             " in " + attribute_path + ": \"" + line + "\"");
+      }
       auto it = id_map.find(raw);
       if (it == id_map.end()) continue;
       int32_t a;
@@ -75,12 +94,14 @@ Graph LoadGraphFromFiles(const std::string& edge_path,
   return b.Build();
 }
 
-void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
-                      const std::string& community_path,
-                      const std::string& attribute_path) {
+Status SaveGraphToFiles(const Graph& g, const std::string& edge_path,
+                        const std::string& community_path,
+                        const std::string& attribute_path) {
   {
     std::ofstream out(edge_path);
-    CGNP_CHECK(out.good()) << " cannot write edge file: " << edge_path;
+    if (!out.good()) {
+      return NotFoundError("cannot write edge file: " + edge_path);
+    }
     out << "# cgnp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
         << " edges\n";
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -88,10 +109,16 @@ void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
         if (u > v) out << v << " " << u << "\n";
       }
     }
+    out.flush();
+    if (!out.good()) {
+      return DataLossError("short write to edge file: " + edge_path);
+    }
   }
   if (!community_path.empty() && g.has_communities()) {
     std::ofstream out(community_path);
-    CGNP_CHECK(out.good());
+    if (!out.good()) {
+      return NotFoundError("cannot write community file: " + community_path);
+    }
     for (int64_t c = 0; c < g.num_communities(); ++c) {
       const auto members = g.CommunityMembers(c);
       if (members.empty()) continue;
@@ -100,16 +127,29 @@ void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
       }
       out << "\n";
     }
+    out.flush();
+    if (!out.good()) {
+      return DataLossError("short write to community file: " +
+                           community_path);
+    }
   }
   if (!attribute_path.empty() && g.has_attributes()) {
     std::ofstream out(attribute_path);
-    CGNP_CHECK(out.good());
+    if (!out.good()) {
+      return NotFoundError("cannot write attribute file: " + attribute_path);
+    }
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       out << v;
       for (int32_t a : g.Attributes(v)) out << " " << a;
       out << "\n";
     }
+    out.flush();
+    if (!out.good()) {
+      return DataLossError("short write to attribute file: " +
+                           attribute_path);
+    }
   }
+  return Status::Ok();
 }
 
 }  // namespace cgnp

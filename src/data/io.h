@@ -9,27 +9,32 @@
 //                  (SNAP "top5000" style). Nodes in several communities
 //                  keep the first listed; nodes in none get -1.
 //   Attribute file one line per node: "node_id attr_id attr_id ...".
+//
+// Error model (API v1): dataset files are external input, so a missing
+// file returns NotFound and a malformed line returns DataLoss (naming the
+// line) instead of aborting -- a long-running loader can skip a bad
+// dataset and move on.
 #ifndef CGNP_DATA_IO_H_
 #define CGNP_DATA_IO_H_
 
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace cgnp {
 
 // Loads an edge-list graph; optional community / attribute files enrich it.
-// Aborts on malformed input (this is an offline tool path).
-Graph LoadGraphFromFiles(const std::string& edge_path,
-                         const std::string& community_path = "",
-                         const std::string& attribute_path = "");
+StatusOr<Graph> LoadGraphFromFiles(const std::string& edge_path,
+                                   const std::string& community_path = "",
+                                   const std::string& attribute_path = "");
 
 // Writes g back out in the same formats (for round-trip tests and for
 // exporting synthetic datasets).
-void SaveGraphToFiles(const Graph& g, const std::string& edge_path,
-                      const std::string& community_path = "",
-                      const std::string& attribute_path = "");
+Status SaveGraphToFiles(const Graph& g, const std::string& edge_path,
+                        const std::string& community_path = "",
+                        const std::string& attribute_path = "");
 
 }  // namespace cgnp
 

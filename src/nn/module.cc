@@ -69,6 +69,10 @@ void Module::SaveToFile(const std::string& path) const {
   io::WriteU32(out, kCheckpointMagic);
   io::WriteU32(out, kCheckpointVersion);
   WriteParameters(out);
+  // Flush before the final check: the io:: writers no longer abort per
+  // primitive, so a write error stuck in the stream buffer would
+  // otherwise only surface in the unchecked destructor.
+  out.flush();
   CGNP_CHECK(out.good()) << " short write to checkpoint: " << path;
 }
 
@@ -77,7 +81,7 @@ void Module::LoadFromFile(const std::string& path) {
   CGNP_CHECK(in.good()) << " cannot read checkpoint: " << path;
   CGNP_CHECK_EQ(io::ReadU32(in), kCheckpointMagic) << " not a cgnp checkpoint";
   CGNP_CHECK_EQ(io::ReadU32(in), kCheckpointVersion) << " checkpoint version";
-  ReadParameters(in);
+  CGNP_CHECK(ReadParameters(in)) << " corrupt checkpoint: " << path;
   CGNP_CHECK(in.good()) << " truncated checkpoint: " << path;
 }
 
@@ -87,11 +91,17 @@ void Module::WriteParameters(std::ostream& out) const {
   for (const auto& p : params) io::WriteTensor(out, p);
 }
 
-void Module::ReadParameters(std::istream& in) {
+bool Module::ReadParameters(std::istream& in) {
   auto params = Parameters();
-  CGNP_CHECK_EQ(io::ReadU32(in), static_cast<uint32_t>(params.size()))
-      << " checkpoint structure mismatch";
-  for (auto& p : params) io::ReadTensorInto(in, &p);
+  const uint32_t count = io::ReadU32(in);
+  if (!in.good() || count != static_cast<uint32_t>(params.size())) {
+    in.setstate(std::ios::failbit);
+    return false;
+  }
+  for (auto& p : params) {
+    if (!io::ReadTensorInto(in, &p)) return false;
+  }
+  return true;
 }
 
 Tensor Module::RegisterParameter(Tensor t) {

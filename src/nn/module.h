@@ -46,8 +46,10 @@ class Module {
   void CopyParametersFrom(const Module& other);
 
   // Binary checkpointing: writes/reads all parameters (with a per-tensor
-  // shape header) so trained models survive process restarts. Aborts on IO
-  // errors or structure mismatch. The format is a versioned little-endian
+  // shape header) so trained models survive process restarts. These are
+  // internal tool paths and abort on IO errors or structure mismatch; the
+  // Status-returning public loaders (core/checkpoint.h) are built on the
+  // stream-level block below. The format is a versioned little-endian
   // dump; see module.cc.
   void SaveToFile(const std::string& path) const;
   void LoadFromFile(const std::string& path);
@@ -55,9 +57,11 @@ class Module {
   // Stream-level parameter block (tensor count + per-tensor payloads,
   // no magic/version framing) for embedding in larger checkpoint files;
   // see tensor/io.h for the payload format. ReadParameters validates the
-  // stored shapes against this module's structure and aborts on mismatch.
+  // stored shapes against this module's structure; on mismatch or a short
+  // read it returns false with the stream failed (parameters already
+  // consumed keep their stored values -- discard the module).
   void WriteParameters(std::ostream& out) const;
-  void ReadParameters(std::istream& in);
+  [[nodiscard]] bool ReadParameters(std::istream& in);
 
  protected:
   Module() = default;

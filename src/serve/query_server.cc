@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <utility>
 
 #include "common/check.h"
 #include "tensor/ops.h"
@@ -20,22 +21,6 @@ double PercentileOf(const std::vector<double>& sorted, double p) {
   const double frac = idx - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
-
-}  // namespace
-
-QueryServer::QueryServer(const CgnpModel* model, ServeOptions options)
-    : model_(model),
-      options_(options),
-      cache_(options.cache_capacity),
-      pool_(options.num_threads) {
-  CGNP_CHECK(model_ != nullptr) << " QueryServer needs a trained model";
-  // Concurrent const access is only safe in eval mode; see the
-  // thread-safety contract in core/cgnp.h.
-  CGNP_CHECK(!model_->training())
-      << " QueryServer requires an eval-mode model (SetTraining(false))";
-}
-
-namespace {
 
 const CgnpModel* CheckedEngineModel(const CommunitySearchEngine& engine) {
   CGNP_CHECK(engine.trained())
@@ -56,30 +41,130 @@ ServeOptions FromEngineOptions(const CommunitySearchEngine& engine,
 
 }  // namespace
 
+QueryServer::QueryServer(const CgnpModel* model,
+                         std::unique_ptr<CommunitySearcher> backend,
+                         std::shared_ptr<const CommunitySearchEngine>
+                             owned_engine,
+                         ServeOptions options)
+    : model_(model),
+      backend_(std::move(backend)),
+      owned_engine_(std::move(owned_engine)),
+      backend_name_(options.backend),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      pool_(options_.num_threads) {
+  CGNP_CHECK((model_ != nullptr) != (backend_ != nullptr))
+      << " exactly one of model/backend must drive the server";
+}
+
+QueryServer::QueryServer(const CgnpModel* model, ServeOptions options)
+    : QueryServer(model, /*backend=*/nullptr, /*owned_engine=*/nullptr,
+                  [&options, model] {
+                    CGNP_CHECK(model != nullptr)
+                        << " QueryServer needs a trained model";
+                    // Concurrent const access is only safe in eval mode;
+                    // see the thread-safety contract in core/cgnp.h.
+                    CGNP_CHECK(!model->training())
+                        << " QueryServer requires an eval-mode model "
+                           "(SetTraining(false))";
+                    options.backend = "cgnp";
+                    return std::move(options);
+                  }()) {}
+
 QueryServer::QueryServer(const CommunitySearchEngine& engine, int num_threads,
                          int64_t cache_capacity)
     : QueryServer(CheckedEngineModel(engine),
                   FromEngineOptions(engine, num_threads, cache_capacity)) {}
 
-SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
-  CGNP_CHECK(request.graph != nullptr) << " SearchRequest without a graph";
-  CGNP_CHECK(request.query >= 0 && request.query < request.graph->num_nodes())
-      << " query node out of range";
-  const auto start = std::chrono::steady_clock::now();
+StatusOr<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const CommunitySearchEngine* engine, ServeOptions options) {
+  if (options.num_threads <= 0) {
+    return InvalidArgumentError("num_threads must be positive, got " +
+                                std::to_string(options.num_threads));
+  }
+  if (options.cache_capacity < 0) {
+    return InvalidArgumentError("cache_capacity must be >= 0, got " +
+                                std::to_string(options.cache_capacity));
+  }
+  // Unknown names fall through to MakeSearcher below, which returns
+  // NotFound listing the registered backends.
+  if (options.backend == "cgnp") {
+    std::shared_ptr<const CommunitySearchEngine> owned;
+    if (engine == nullptr && !options.searcher.checkpoint.empty()) {
+      CGNP_ASSIGN_OR_RETURN(
+          CommunitySearchEngine restored,
+          CommunitySearchEngine::LoadCheckpoint(options.searcher.checkpoint));
+      owned = std::make_shared<const CommunitySearchEngine>(
+          std::move(restored));
+      engine = owned.get();
+    }
+    if (engine == nullptr) {
+      return InvalidArgumentError(
+          "the \"cgnp\" backend needs a trained engine (pass one to "
+          "Create, or set ServeOptions::searcher.checkpoint)");
+    }
+    if (!engine->trained()) {
+      return FailedPreconditionError(
+          "the \"cgnp\" backend needs a trained engine: Fit it or restore "
+          "a trained checkpoint first");
+    }
+    // Inherit the task materialisation parameters from the engine so
+    // served responses are identical to engine.Search.
+    options.tasks = engine->options().tasks;
+    options.attribute_dim = engine->attribute_dim();
+    options.seed = engine->options().seed;
+    return std::unique_ptr<QueryServer>(
+        new QueryServer(engine->model(), /*backend=*/nullptr,
+                        std::move(owned), std::move(options)));
+  }
+  CGNP_ASSIGN_OR_RETURN(auto backend,
+                        MakeSearcher(options.backend, options.searcher));
+  return std::unique_ptr<QueryServer>(
+      new QueryServer(/*model=*/nullptr, std::move(backend),
+                      /*owned_engine=*/nullptr, std::move(options)));
+}
 
+Status QueryServer::AnswerRequest(const SearchRequest& request,
+                                  SearchResponse* resp) {
+  if (request.graph == nullptr) {
+    return InvalidArgumentError("SearchRequest without a graph");
+  }
+  QueryOptions query_options;
+  query_options.threshold = request.threshold;
+
+  if (backend_ != nullptr) {
+    // Registry backend: it performs the full input validation itself.
+    CGNP_ASSIGN_OR_RETURN(
+        QueryResult result,
+        backend_->Search(*request.graph, request.query, request.support,
+                         query_options));
+    resp->members = std::move(result.members);
+    resp->probs = std::move(result.probs);
+    return Status::Ok();
+  }
+
+  // cgnp pipeline with the context cache. NaN fails both comparisons.
+  if (!(request.threshold >= 0.0f && request.threshold <= 1.0f)) {
+    return InvalidArgumentError("threshold must be in [0, 1], got " +
+                                std::to_string(request.threshold));
+  }
   // Inference never records tape (thread-local switch; see tensor/tensor.h).
   NoGradGuard no_grad;
-  LocalQueryTask task =
+  CGNP_ASSIGN_OR_RETURN(
+      LocalQueryTask task,
       BuildQueryTask(*request.graph, request.query, request.support,
-                     options_.tasks, options_.attribute_dim, options_.seed);
-  CGNP_CHECK_EQ(task.graph.feature_dim(), model_->feature_dim())
-      << " request graph features incompatible with the served model";
+                     options_.tasks, options_.attribute_dim, options_.seed));
+  if (task.graph.feature_dim() != model_->feature_dim()) {
+    return InvalidArgumentError(
+        "request graph features incompatible with the served model: task "
+        "feature_dim " + std::to_string(task.graph.feature_dim()) +
+        " vs model " + std::to_string(model_->feature_dim()));
+  }
 
-  SearchResponse resp;
   const ContextCache::Key key{request.graph_id, TaskFingerprint(task)};
   Tensor context;
   if (cache_.Get(key, &context)) {
-    resp.cache_hit = true;
+    resp->cache_hit = true;
   } else {
     context = model_->TaskContext(task.graph, task.support, nullptr);
     cache_.Put(key, context);
@@ -87,9 +172,22 @@ SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
 
   // Same decode path as CommunitySearchEngine::Search, so multi-threaded
   // serving is prediction-identical to single-threaded Search.
-  resp.members = MembersFromContext(*model_, task, context, request.threshold,
-                                    &resp.probs);
+  resp->members = MembersFromContext(*model_, task, context,
+                                     request.threshold, &resp->probs);
+  return Status::Ok();
+}
 
+SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  SearchResponse resp;
+  resp.backend = backend_name_;
+  resp.threshold = request.threshold;
+  resp.status = AnswerRequest(request, &resp);
+  if (!resp.status.ok()) {
+    resp.members.clear();
+    resp.probs.clear();
+    resp.cache_hit = false;
+  }
   const auto end = std::chrono::steady_clock::now();
   resp.latency_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
@@ -103,6 +201,7 @@ SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
       latency_next_ = (latency_next_ + 1) % kMaxLatencySamples;
     }
     ++stat_requests_;
+    if (!resp.status.ok()) ++stat_errors_;
     if (resp.cache_hit) ++stat_cache_hits_;
     if (!window_open_) {
       window_start_ = start;
@@ -140,10 +239,12 @@ std::vector<SearchResponse> QueryServer::ServeBatch(
 
 ServerStats QueryServer::Stats() const {
   ServerStats s;
+  s.backend = backend_name_;
   std::vector<double> sorted;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.requests = stat_requests_;
+    s.errors = stat_errors_;
     s.cache_hits = stat_cache_hits_;
     sorted = latencies_ms_;
     if (window_open_ && s.requests > 0) {
@@ -176,6 +277,7 @@ void QueryServer::ResetStats() {
   latencies_ms_.clear();
   latency_next_ = 0;
   stat_requests_ = 0;
+  stat_errors_ = 0;
   stat_cache_hits_ = 0;
   window_open_ = false;
   window_start_ = window_end_ = std::chrono::steady_clock::time_point{};

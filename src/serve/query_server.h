@@ -1,32 +1,51 @@
-// Multi-threaded batched inference server over a trained CGNP model.
+// Multi-threaded batched inference server over any registered
+// community-search backend.
 //
-// The serving pipeline per request mirrors CommunitySearchEngine::Search
-// exactly (both build queries through BuildQueryTask with the same seed),
-// so a multi-threaded server returns results identical to single-threaded
-// Search. On top of that it adds:
+// Backends are selected by registry name (ServeOptions::backend): the
+// learned "cgnp" engine or any classical adapter ("kcore", "ktruss",
+// "acq", ... -- see cs/searcher.h). The cgnp serving pipeline per request
+// mirrors CommunitySearchEngine::Search exactly (both build queries
+// through BuildQueryTask with the same seed), so a multi-threaded server
+// returns results identical to single-threaded Search. On top of that it
+// adds:
 //   * a context cache (see context_cache.h): repeated queries against the
 //     same community reuse one encoder pass -- the paper's Algorithm 2
 //     asymmetry (encode support once, decode queries cheaply) made explicit
-//     at the system level;
+//     at the system level (cgnp backend only; classical answers are cheap
+//     and stateless);
 //   * a worker pool: every request runs under a thread-local NoGradGuard
 //     against an eval-mode model, the regime core/cgnp.h documents as safe
 //     for concurrent const access;
-//   * per-server statistics: throughput, latency percentiles and cache
-//     effectiveness, for capacity planning and the serving benchmarks.
+//   * per-server statistics: throughput, latency percentiles, error counts
+//     and cache effectiveness, attributed to the serving backend.
+//
+// Error model (API v1): a malformed request -- null graph, out-of-range
+// node ids, bad threshold -- never aborts the process; the per-request
+// Status travels in SearchResponse::status and errored requests are
+// counted in ServerStats::errors. Construction through Create() returns
+// NotFound for unknown backend names.
 //
 // Typical use (see examples/train_and_serve.cpp):
 //   auto engine = CommunitySearchEngine::LoadCheckpoint("model.ckpt");
-//   QueryServer server(engine, /*num_threads=*/8, /*cache_capacity=*/256);
+//   QueryServer server(engine.value(), /*num_threads=*/8, /*cache=*/256);
 //   auto responses = server.ServeBatch(requests);
+// or, backend by name:
+//   serve::ServeOptions opt;
+//   opt.backend = "ktruss";
+//   auto server = QueryServer::Create(nullptr, opt);
 #ifndef CGNP_SERVE_QUERY_SERVER_H_
 #define CGNP_SERVE_QUERY_SERVER_H_
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "cs/searcher.h"
 #include "serve/context_cache.h"
 
 namespace cgnp {
@@ -46,17 +65,29 @@ struct SearchRequest {
 };
 
 struct SearchResponse {
-  // Predicted community members in the request graph's ids (always
-  // contains the query node), with the model's membership probability
-  // aligned per member.
+  // Per-request outcome; when non-OK, members/probs are empty and only
+  // status/backend/threshold/latency_ms are meaningful. Malformed requests
+  // error here instead of aborting the server.
+  Status status;
+  // Predicted community members in the request graph's ids (for the
+  // learned backend: always contains the query node, with the model's
+  // membership probability aligned per member; classical backends leave
+  // `probs` empty -- their membership is crisp).
   std::vector<NodeId> members;
   std::vector<float> probs;
+  // Attribution: which backend answered, at which threshold (bench runs
+  // mix backends, so every response is self-describing).
+  std::string backend;
+  float threshold = 0.5f;
   double latency_ms = 0.0;
-  bool cache_hit = false;  // context served from the cache
+  bool cache_hit = false;  // context served from the cache (cgnp only)
 };
 
 struct ServerStats {
+  std::string backend;  // registry name serving this window (attribution;
+                        // per-request thresholds travel in SearchResponse)
   uint64_t requests = 0;
+  uint64_t errors = 0;     // requests answered with a non-OK status
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   double cache_hit_rate = 0.0;  // hits / requests
@@ -69,11 +100,19 @@ struct ServerStats {
 };
 
 struct ServeOptions {
+  // Backend registry name (cs/searcher.h). "cgnp" serves the engine passed
+  // to Create / the engine constructor (or a checkpoint via
+  // `searcher.checkpoint`); classical names need no engine at all.
+  std::string backend = "cgnp";
+  // Construction knobs forwarded to the backend factory (classical k,
+  // cgnp checkpoint path, ...).
+  SearcherConfig searcher;
   int num_threads = 4;
   // Max cached contexts; 0 disables the cache (every request re-encodes).
   int64_t cache_capacity = 256;
   // Task materialisation parameters -- must match the values the model was
   // trained under for the subgraph distribution to be in-distribution.
+  // (cgnp backend only; Create fills them from the engine.)
   TaskConfig tasks;
   int64_t attribute_dim = 0;
   // Seed for the deterministic BFS task sampling; use the engine's seed to
@@ -83,6 +122,17 @@ struct ServeOptions {
 
 class QueryServer {
  public:
+  // Status-returning construction with backend selection -- the v1 entry
+  // point. For backend "cgnp", `engine` must be a trained engine that
+  // outlives the server (or ServeOptions::searcher.checkpoint must name an
+  // engine checkpoint, which the server restores and owns); task config,
+  // attribute dim and seed are inherited from it for Search parity.
+  // Classical backends ignore `engine`. Unknown names return NotFound.
+  static StatusOr<std::unique_ptr<QueryServer>> Create(
+      const CommunitySearchEngine* engine, ServeOptions options);
+
+  // Direct cgnp-backend construction (precondition-checked, aborts on
+  // programmer error -- prefer Create for anything driven by user input).
   // `model` must outlive the server, be fully trained, and be in eval
   // mode (trainers and checkpoint loading both leave it there).
   QueryServer(const CgnpModel* model, ServeOptions options);
@@ -95,7 +145,8 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  // Serves one request synchronously on the calling thread.
+  // Serves one request synchronously on the calling thread. Never aborts
+  // on request content; inspect response.status.
   SearchResponse Serve(const SearchRequest& request);
 
   // Serves a batch across the worker pool; blocks until every response is
@@ -106,13 +157,28 @@ class QueryServer {
   ServerStats Stats() const;
   void ResetStats();
 
+  const std::string& backend_name() const { return backend_name_; }
   const ServeOptions& options() const { return options_; }
   ContextCache& cache() { return cache_; }
 
  private:
-  SearchResponse ServeOne(const SearchRequest& request);
+  QueryServer(const CgnpModel* model,
+              std::unique_ptr<CommunitySearcher> backend,
+              std::shared_ptr<const CommunitySearchEngine> owned_engine,
+              ServeOptions options);
 
-  const CgnpModel* const model_;
+  SearchResponse ServeOne(const SearchRequest& request);
+  // The backend dispatch: fills members/probs/cache_hit, returns the
+  // request outcome.
+  Status AnswerRequest(const SearchRequest& request, SearchResponse* resp);
+
+  // Exactly one of model_ / backend_ drives AnswerRequest: model_ for the
+  // cached cgnp pipeline, backend_ for registry backends.
+  const CgnpModel* model_ = nullptr;
+  std::unique_ptr<CommunitySearcher> backend_;
+  // Keeps a checkpoint-restored engine alive when the server owns it.
+  std::shared_ptr<const CommunitySearchEngine> owned_engine_;
+  std::string backend_name_;
   const ServeOptions options_;
   ContextCache cache_;
   ThreadPool pool_;
@@ -126,6 +192,7 @@ class QueryServer {
   std::vector<double> latencies_ms_;  // ring once full
   size_t latency_next_ = 0;           // ring write position
   uint64_t stat_requests_ = 0;
+  uint64_t stat_errors_ = 0;
   uint64_t stat_cache_hits_ = 0;
   std::chrono::steady_clock::time_point window_start_{};
   std::chrono::steady_clock::time_point window_end_{};

@@ -1,6 +1,7 @@
 #include "tensor/io.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "common/check.h"
@@ -10,17 +11,24 @@ namespace io {
 
 namespace {
 
+// Defensive bounds applied when materialising tensors from untrusted
+// bytes: a corrupt header must not drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxTensorRank = 8;
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 28;  // 1 GiB of f32
+
 template <typename T>
 void WriteRaw(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-  CGNP_CHECK(out.good()) << " short write";
 }
 
+// On a short read the stream is left failed (failbit/eofbit) and a
+// value-initialised T is returned; callers detect the failure via
+// stream state (typically once per framing stage, see checkpoint.cc).
 template <typename T>
 T ReadRaw(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CGNP_CHECK(in.good()) << " short read";
+  if (!in.good()) return T{};
   return v;
 }
 
@@ -34,13 +42,11 @@ void WriteF32(std::ostream& out, float v) { WriteRaw(out, v); }
 void WriteFloats(std::ostream& out, const float* data, int64_t n) {
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(n * sizeof(float)));
-  CGNP_CHECK(out.good()) << " short write of " << n << " floats";
 }
 
 void WriteString(std::ostream& out, const std::string& s) {
   WriteU32(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
-  CGNP_CHECK(out.good()) << " short write of string";
 }
 
 uint32_t ReadU32(std::istream& in) { return ReadRaw<uint32_t>(in); }
@@ -51,15 +57,15 @@ float ReadF32(std::istream& in) { return ReadRaw<float>(in); }
 void ReadFloats(std::istream& in, float* data, int64_t n) {
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(n * sizeof(float)));
-  CGNP_CHECK(in.good()) << " short read of " << n << " floats";
 }
 
 std::string ReadString(std::istream& in) {
   const uint32_t len = ReadU32(in);
+  if (!in.good()) return std::string();
   std::string s(len, '\0');
   if (len > 0) {
     in.read(s.data(), static_cast<std::streamsize>(len));
-    CGNP_CHECK(in.good()) << " short read of string";
+    if (!in.good()) return std::string();
   }
   return s;
 }
@@ -71,23 +77,43 @@ void WriteTensor(std::ostream& out, const Tensor& t) {
   WriteFloats(out, t.data(), t.numel());
 }
 
-void ReadTensorInto(std::istream& in, Tensor* t) {
+bool ReadTensorInto(std::istream& in, Tensor* t) {
   CGNP_CHECK(t != nullptr && t->Defined());
   const uint32_t rank = ReadU32(in);
-  CGNP_CHECK_EQ(rank, static_cast<uint32_t>(t->shape().size()))
-      << " checkpoint tensor rank mismatch";
+  if (!in.good() || rank != static_cast<uint32_t>(t->shape().size())) {
+    in.setstate(std::ios::failbit);
+    return false;
+  }
   for (int64_t d : t->shape()) {
-    CGNP_CHECK_EQ(ReadI64(in), d) << " checkpoint tensor dim mismatch";
+    if (ReadI64(in) != d || !in.good()) {
+      in.setstate(std::ios::failbit);
+      return false;
+    }
   }
   ReadFloats(in, t->data(), t->numel());
+  return in.good();
 }
 
 Tensor ReadTensor(std::istream& in, bool requires_grad) {
   const uint32_t rank = ReadU32(in);
+  if (!in.good() || rank > kMaxTensorRank) {
+    in.setstate(std::ios::failbit);
+    return Tensor();
+  }
   Shape shape(rank);
-  for (uint32_t i = 0; i < rank; ++i) shape[i] = ReadI64(in);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    shape[i] = ReadI64(in);
+    if (!in.good() || shape[i] < 0 ||
+        (shape[i] > 0 && numel > kMaxTensorNumel / shape[i])) {
+      in.setstate(std::ios::failbit);
+      return Tensor();
+    }
+    numel *= shape[i];
+  }
   Tensor t = Tensor::Zeros(shape, requires_grad);
   ReadFloats(in, t.data(), t.numel());
+  if (!in.good()) return Tensor();
   return t;
 }
 

@@ -3,9 +3,16 @@
 // All integers are written in host byte order (little-endian on every
 // platform we target); checkpoint headers carry a magic number so a
 // mismatched-endian or corrupt file fails loudly instead of loading
-// garbage. Streams are checked after every primitive: a short read or
-// write aborts via CGNP_CHECK, matching the library's no-exceptions
-// error philosophy.
+// garbage.
+//
+// Error signalling (API v1): a short read, short write or structural
+// mismatch leaves the stream in a failed state (failbit) and returns a
+// value-initialised result -- it never aborts. Checkpoint loaders check
+// the stream once per framing stage and surface failures as
+// cgnp::Status (DataLoss), so a truncated or foreign file can be
+// rejected by a serving process without taking it down. Reading from an
+// already-failed stream is a cheap no-op, so callers may batch their
+// stream checks.
 #ifndef CGNP_TENSOR_IO_H_
 #define CGNP_TENSOR_IO_H_
 
@@ -26,6 +33,8 @@ void WriteFloats(std::ostream& out, const float* data, int64_t n);
 // Length-prefixed (u32) raw bytes.
 void WriteString(std::ostream& out, const std::string& s);
 
+// Readers return a value-initialised result (0 / "" / null tensor) and
+// fail the stream on truncation or corruption; see the header comment.
 uint32_t ReadU32(std::istream& in);
 uint64_t ReadU64(std::istream& in);
 int64_t ReadI64(std::istream& in);
@@ -35,10 +44,13 @@ std::string ReadString(std::istream& in);
 
 // Tensor payload: u32 rank, i64 dims, then raw f32 data.
 void WriteTensor(std::ostream& out, const Tensor& t);
-// Reads a tensor payload into an existing tensor, aborting unless the
-// stored shape matches `t` exactly (structure validation on load).
-void ReadTensorInto(std::istream& in, Tensor* t);
-// Reads a tensor payload into a freshly allocated tensor.
+// Reads a tensor payload into an existing tensor; returns false (failing
+// the stream) unless the stored shape matches `t` exactly (structure
+// validation on load).
+bool ReadTensorInto(std::istream& in, Tensor* t);
+// Reads a tensor payload into a freshly allocated tensor; a corrupt
+// header (absurd rank / negative or oversized dims) fails the stream and
+// returns a null tensor rather than allocating.
 Tensor ReadTensor(std::istream& in, bool requires_grad = false);
 
 }  // namespace io

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/engine.h"
@@ -89,7 +90,7 @@ TEST(Checkpoint, ConfigRoundTrip) {
   cfg.seed = 99;
   std::stringstream ss;
   WriteCgnpConfig(ss, cfg);
-  const CgnpConfig back = ReadCgnpConfig(ss);
+  const CgnpConfig back = ReadCgnpConfig(ss).value();
   EXPECT_EQ(back.encoder, cfg.encoder);
   EXPECT_EQ(back.commutative, cfg.commutative);
   EXPECT_EQ(back.decoder, cfg.decoder);
@@ -112,7 +113,7 @@ TEST(Checkpoint, TaskConfigRoundTrip) {
   cfg.clamp_samples = true;
   std::stringstream ss;
   WriteTaskConfig(ss, cfg);
-  const TaskConfig back = ReadTaskConfig(ss);
+  const TaskConfig back = ReadTaskConfig(ss).value();
   EXPECT_EQ(back.subgraph_size, cfg.subgraph_size);
   EXPECT_EQ(back.shots, cfg.shots);
   EXPECT_EQ(back.query_set_size, cfg.query_set_size);
@@ -144,8 +145,8 @@ TEST(Checkpoint, ModelRoundTripBitwiseIdenticalPredictions) {
 
   const auto before = CgnpMetaTest(model, task);
   const std::string path = TempPath("model.ckpt");
-  CgnpModelSave(model, path);
-  const auto loaded = CgnpModelLoad(path);
+  ASSERT_TRUE(CgnpModelSave(model, path).ok());
+  const auto loaded = CgnpModelLoad(path).value();
   std::remove(path.c_str());
 
   EXPECT_EQ(loaded->config().encoder, cfg.encoder);
@@ -183,20 +184,116 @@ TEST(Checkpoint, EngineRoundTripSearchIdentical) {
   opt.tasks.query_set_size = 6;
   opt.num_train_tasks = 6;
   CommunitySearchEngine engine(opt);
-  engine.Fit(g);
+  ASSERT_TRUE(engine.Fit(g).ok());
 
   const std::string path = TempPath("engine.ckpt");
-  engine.SaveCheckpoint(path);
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
   // A "fresh process": a brand-new engine restored purely from the file.
-  CommunitySearchEngine restored = CommunitySearchEngine::LoadCheckpoint(path);
+  CommunitySearchEngine restored =
+      CommunitySearchEngine::LoadCheckpoint(path).value();
   std::remove(path.c_str());
   EXPECT_TRUE(restored.trained());
   EXPECT_EQ(restored.options().tasks.subgraph_size, opt.tasks.subgraph_size);
 
   for (NodeId q : {NodeId(3), NodeId(17), NodeId(101)}) {
-    EXPECT_EQ(engine.Search(g, q), restored.Search(g, q))
+    EXPECT_EQ(engine.Search(g, q).value(), restored.Search(g, q).value())
         << "restored engine diverged on query " << q;
   }
+}
+
+// --- Error paths: bad checkpoint files must return Status, never abort ----
+
+TEST(CheckpointError, MissingFileReturnsNotFound) {
+  const auto model = CgnpModelLoad("/nonexistent/cgnp_model.ckpt");
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+
+  const auto engine =
+      CommunitySearchEngine::LoadCheckpoint("/nonexistent/engine.ckpt");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointError, ForeignMagicReturnsDataLoss) {
+  const std::string path = TempPath("foreign.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a cgnp checkpoint, long enough to read a header";
+  }
+  const auto engine = CommunitySearchEngine::LoadCheckpoint(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointError, VersionMismatchReturnsDataLoss) {
+  CommunitySearchEngine::Options opt;
+  CommunitySearchEngine engine(opt);
+  const std::string path = TempPath("future_version.ckpt");
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+  // Bump the stored version field (bytes 4..7) to an unsupported value.
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const uint32_t future = 9999;
+    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  }
+  const auto restored = CommunitySearchEngine::LoadCheckpoint(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(restored.status().message().find("version"), std::string::npos)
+      << restored.status();
+}
+
+TEST(CheckpointError, TruncatedTrainedEngineReturnsDataLossAtEveryCut) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine::Options opt;
+  opt.model.encoder = GnnKind::kGcn;
+  opt.model.hidden_dim = 16;
+  opt.model.num_layers = 2;
+  opt.model.epochs = 2;
+  opt.tasks.subgraph_size = 80;
+  opt.tasks.query_set_size = 6;
+  opt.num_train_tasks = 4;
+  CommunitySearchEngine engine(opt);
+  ASSERT_TRUE(engine.Fit(g).ok());
+  const std::string path = TempPath("full_engine.ckpt");
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 128u);
+  // Cut the file in the framing header, the engine options, and deep in
+  // the model parameters; every truncation must be a clean DataLoss.
+  const std::string cut_path = TempPath("truncated_engine.ckpt");
+  for (const size_t keep :
+       {size_t{6}, size_t{40}, bytes.size() / 2, bytes.size() - 3}) {
+    {
+      std::ofstream out(cut_path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    const auto restored = CommunitySearchEngine::LoadCheckpoint(cut_path);
+    ASSERT_FALSE(restored.ok()) << "truncation at " << keep << " loaded";
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)
+        << "truncation at " << keep << ": " << restored.status();
+  }
+  std::remove(cut_path.c_str());
+}
+
+TEST(CheckpointError, CorruptConfigFieldReturnsDataLoss) {
+  std::stringstream ss;
+  io::WriteU32(ss, 0xFFFFFFFFu);  // encoder kind out of range
+  for (int i = 0; i < 16; ++i) io::WriteU64(ss, 0);
+  const auto cfg = ReadCgnpConfig(ss);
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(Checkpoint, UntrainedEngineRoundTrip) {
@@ -204,8 +301,9 @@ TEST(Checkpoint, UntrainedEngineRoundTrip) {
   opt.tasks.subgraph_size = 64;
   CommunitySearchEngine engine(opt);
   const std::string path = TempPath("engine_untrained.ckpt");
-  engine.SaveCheckpoint(path);
-  CommunitySearchEngine restored = CommunitySearchEngine::LoadCheckpoint(path);
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+  CommunitySearchEngine restored =
+      CommunitySearchEngine::LoadCheckpoint(path).value();
   std::remove(path.c_str());
   EXPECT_FALSE(restored.trained());
   EXPECT_EQ(restored.options().tasks.subgraph_size, 64);

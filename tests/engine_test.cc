@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
@@ -40,10 +42,10 @@ TEST(Engine, FitThenSearchReturnsQuery) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine(FastOptions());
   EXPECT_FALSE(engine.trained());
-  engine.Fit(g);
+  ASSERT_TRUE(engine.Fit(g).ok());
   EXPECT_TRUE(engine.trained());
   const NodeId q = 17;
-  const auto members = engine.Search(g, q);
+  const auto members = engine.Search(g, q).value();
   EXPECT_FALSE(members.empty());
   EXPECT_NE(std::find(members.begin(), members.end(), q), members.end());
 }
@@ -51,7 +53,7 @@ TEST(Engine, FitThenSearchReturnsQuery) {
 TEST(Engine, SupportObservationsImproveSearch) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine(FastOptions());
-  engine.Fit(g);
+  ASSERT_TRUE(engine.Fit(g).ok());
 
   const NodeId q = 42;
   const int64_t community = g.CommunityOf(q);
@@ -81,7 +83,7 @@ TEST(Engine, SupportObservationsImproveSearch) {
     return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
   };
 
-  const auto with_support = engine.Search(g, q, {obs});
+  const auto with_support = engine.Search(g, q, {obs}).value();
   EXPECT_GT(f1_of(with_support), 0.1) << "supported search should find most"
                                          " of the planted community";
 }
@@ -92,9 +94,9 @@ TEST(Engine, ValidationEarlyStoppingPath) {
   opt.num_valid_tasks = 4;
   opt.early_stop_patience = 3;
   CommunitySearchEngine engine(opt);
-  engine.Fit(g);
+  ASSERT_TRUE(engine.Fit(g).ok());
   EXPECT_TRUE(engine.trained());
-  const auto members = engine.Search(g, 11);
+  const auto members = engine.Search(g, 11).value();
   EXPECT_FALSE(members.empty());
 }
 
@@ -104,9 +106,165 @@ TEST(Engine, SearchOnUnseenGraphSameSchema) {
   Graph train_g = PlantedGraph(1);
   Graph test_g = PlantedGraph(2);
   CommunitySearchEngine engine(FastOptions());
-  engine.Fit(train_g);
-  const auto members = engine.Search(test_g, 7);
+  ASSERT_TRUE(engine.Fit(train_g).ok());
+  const auto members = engine.Search(test_g, 7).value();
   EXPECT_FALSE(members.empty());
+}
+
+// --- EngineBuilder ---------------------------------------------------------
+
+TEST(EngineBuilderTest, BuildsValidatedEngineFluently) {
+  const CommunitySearchEngine::Options opt = FastOptions();
+  auto built = EngineBuilder()
+                   .WithModel(opt.model)
+                   .WithTasks(opt.tasks)
+                   .WithTrainTasks(opt.num_train_tasks)
+                   .WithSeed(123)
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_FALSE(built->trained());
+  EXPECT_EQ(built->options().seed, 123u);
+  EXPECT_EQ(built->options().tasks.subgraph_size, opt.tasks.subgraph_size);
+
+  // The built engine trains and answers like a directly constructed one.
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = std::move(built).value();
+  ASSERT_TRUE(engine.Fit(g).ok());
+  EXPECT_FALSE(engine.Search(g, 5).value().empty());
+}
+
+TEST(EngineBuilderTest, RejectsInvalidConfigs) {
+  CgnpConfig bad_model;
+  bad_model.hidden_dim = 0;
+  const auto no_hidden = EngineBuilder().WithModel(bad_model).Build();
+  ASSERT_FALSE(no_hidden.ok());
+  EXPECT_EQ(no_hidden.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_hidden.status().message().find("hidden_dim"),
+            std::string::npos);
+
+  TaskConfig bad_tasks;
+  bad_tasks.subgraph_size = -5;
+  const auto no_subgraph = EngineBuilder().WithTasks(bad_tasks).Build();
+  ASSERT_FALSE(no_subgraph.ok());
+  EXPECT_EQ(no_subgraph.status().code(), StatusCode::kInvalidArgument);
+
+  const auto no_tasks = EngineBuilder().WithTrainTasks(0).Build();
+  ASSERT_FALSE(no_tasks.ok());
+  EXPECT_EQ(no_tasks.status().code(), StatusCode::kInvalidArgument);
+
+  CgnpConfig nan_lr;
+  nan_lr.lr = -1.0f;
+  const auto bad_lr = EngineBuilder().WithModel(nan_lr).Build();
+  ASSERT_FALSE(bad_lr.ok());
+  EXPECT_EQ(bad_lr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, CheckpointRoundTripThroughBuilder) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(g).ok());
+  const std::string path =
+      ::testing::TempDir() + "builder_engine.ckpt";
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+
+  auto restored = EngineBuilder().FromCheckpoint(path).Build();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->trained());
+  EXPECT_EQ(engine.Search(g, 17).value(), restored->Search(g, 17).value());
+  std::remove(path.c_str());
+
+  // FromCheckpoint is exclusive with the config setters: the checkpoint
+  // stores the full configuration.
+  const auto mixed = EngineBuilder()
+                         .WithSeed(1)
+                         .FromCheckpoint(path)
+                         .Build();
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Error paths: bad public-API input returns Status, never aborts --------
+
+TEST(EngineErrorTest, SearchBeforeFitIsFailedPrecondition) {
+  Graph g = PlantedGraph();
+  const CommunitySearchEngine engine(FastOptions());
+  const auto result = engine.Search(g, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineErrorTest, OutOfRangeQueryIdReturnsStatus) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(g).ok());
+
+  for (const NodeId bad : {NodeId(-1), g.num_nodes(), NodeId(1 << 30)}) {
+    const auto result = engine.Search(g, bad);
+    ASSERT_FALSE(result.ok()) << "query " << bad << " was accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(EngineErrorTest, OutOfRangeSupportIdReturnsStatus) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(g).ok());
+
+  QueryExample obs;
+  obs.query = 3;
+  obs.pos.push_back(g.num_nodes() + 7);  // malformed external request
+  const auto result = engine.Search(g, 3, {obs});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EngineErrorTest, EmptyGraphReturnsStatus) {
+  Graph train_g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(train_g).ok());
+
+  const Graph empty;
+  const auto result = engine.Search(empty, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == StatusCode::kInvalidArgument ||
+              result.status().code() == StatusCode::kOutOfRange)
+      << result.status();
+}
+
+TEST(EngineErrorTest, BadThresholdReturnsInvalidArgument) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(g).ok());
+  for (const float bad : {-0.5f, 1.5f, std::nanf("")}) {
+    const auto result = engine.Search(g, 3, {}, bad);
+    ASSERT_FALSE(result.ok()) << "threshold " << bad << " was accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(EngineErrorTest, FitWithoutCommunitiesReturnsInvalidArgument) {
+  // A structural graph without ground-truth labels cannot be fitted.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const Graph unlabelled = b.Build();
+  CommunitySearchEngine engine(FastOptions());
+  const Status status = engine.Fit(unlabelled);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, QueryReportsBackendProbsAndTiming) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine(FastOptions());
+  ASSERT_TRUE(engine.Fit(g).ok());
+  const auto result = engine.Query(g, 17);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->backend, "cgnp");
+  EXPECT_EQ(result->members.size(), result->probs.size());
+  EXPECT_FALSE(result->members.empty());
+  EXPECT_GT(result->elapsed_ms, 0.0);
 }
 
 }  // namespace

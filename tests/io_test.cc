@@ -33,8 +33,10 @@ TEST_F(IoTest, EdgeListRoundTrip) {
   const std::string edges = TempPath("edges.txt");
   const std::string comms = TempPath("comms.txt");
   const std::string attrs = TempPath("attrs.txt");
-  SaveGraphToFiles(g, edges, comms, attrs);
-  Graph h = LoadGraphFromFiles(edges, comms, attrs);
+  ASSERT_TRUE(SaveGraphToFiles(g, edges, comms, attrs).ok());
+  auto loaded = LoadGraphFromFiles(edges, comms, attrs);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Graph h = std::move(loaded).value();
 
   ASSERT_EQ(h.num_nodes(), g.num_nodes());
   EXPECT_EQ(h.num_edges(), g.num_edges());
@@ -74,7 +76,9 @@ TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
     std::ofstream out(path);
     out << "# a comment\n\n0 1\n1 2\n# trailing\n";
   }
-  Graph g = LoadGraphFromFiles(path);
+  auto loaded = LoadGraphFromFiles(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Graph& g = *loaded;
   EXPECT_EQ(g.num_nodes(), 3);
   EXPECT_EQ(g.num_edges(), 2);
 }
@@ -85,7 +89,9 @@ TEST_F(IoTest, NonContiguousIdsCompacted) {
     std::ofstream out(path);
     out << "1000 2000\n2000 500000\n";
   }
-  Graph g = LoadGraphFromFiles(path);
+  auto loaded = LoadGraphFromFiles(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Graph& g = *loaded;
   EXPECT_EQ(g.num_nodes(), 3);
   EXPECT_EQ(g.num_edges(), 2);
   EXPECT_TRUE(g.HasEdge(0, 1));  // 1000-2000
@@ -104,12 +110,31 @@ TEST_F(IoTest, SnapStyleCommunityFile) {
     std::ofstream out(comms);
     out << "0 1 2\n3 4\n";
   }
-  Graph g = LoadGraphFromFiles(edges, comms);
+  auto loaded = LoadGraphFromFiles(edges, comms);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Graph& g = *loaded;
   ASSERT_TRUE(g.has_communities());
   EXPECT_EQ(g.CommunityOf(0), g.CommunityOf(1));
   EXPECT_EQ(g.CommunityOf(0), g.CommunityOf(2));
   EXPECT_EQ(g.CommunityOf(3), g.CommunityOf(4));
   EXPECT_NE(g.CommunityOf(0), g.CommunityOf(3));
+}
+
+TEST_F(IoTest, MissingEdgeFileReturnsNotFound) {
+  const auto loaded = LoadGraphFromFiles("/nonexistent/cgnp_edges.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, MalformedEdgeLineReturnsDataLoss) {
+  const std::string path = TempPath("malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n";
+  }
+  const auto loaded = LoadGraphFromFiles(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <atomic>
 #include <set>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
+#include "cs/kcore_community.h"
+#include "cs/ktruss_community.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
 #include "serve/context_cache.h"
@@ -44,7 +47,7 @@ CommunitySearchEngine TrainedEngine(const Graph& g) {
   opt.tasks.query_set_size = 6;
   opt.num_train_tasks = 6;
   CommunitySearchEngine engine(opt);
-  engine.Fit(g);
+  CGNP_CHECK(engine.Fit(g).ok());
   return engine;
 }
 
@@ -102,9 +105,12 @@ TEST(ContextCacheTest, TaskFingerprintSeparatesTasks) {
   const int64_t attr_dim = max_attr + 1;
   TaskConfig tasks;
   tasks.subgraph_size = 60;
-  const LocalQueryTask t1 = BuildQueryTask(g, 3, {}, tasks, attr_dim, 7);
-  const LocalQueryTask t1_again = BuildQueryTask(g, 3, {}, tasks, attr_dim, 7);
-  const LocalQueryTask t2 = BuildQueryTask(g, 4, {}, tasks, attr_dim, 7);
+  const LocalQueryTask t1 =
+      BuildQueryTask(g, 3, {}, tasks, attr_dim, 7).value();
+  const LocalQueryTask t1_again =
+      BuildQueryTask(g, 3, {}, tasks, attr_dim, 7).value();
+  const LocalQueryTask t2 =
+      BuildQueryTask(g, 4, {}, tasks, attr_dim, 7).value();
   EXPECT_EQ(TaskFingerprint(t1), TaskFingerprint(t1_again));
   EXPECT_NE(TaskFingerprint(t1), TaskFingerprint(t2));
 
@@ -115,12 +121,12 @@ TEST(ContextCacheTest, TaskFingerprintSeparatesTasks) {
   obs.pos = t1.nodes.size() > 1 ? std::vector<NodeId>{t1.nodes[1]}
                                 : std::vector<NodeId>{};
   const LocalQueryTask t1_supported =
-      BuildQueryTask(g, 3, {obs}, tasks, attr_dim, 7);
+      BuildQueryTask(g, 3, {obs}, tasks, attr_dim, 7).value();
   EXPECT_EQ(t1.nodes, t1_supported.nodes);
   EXPECT_NE(TaskFingerprint(t1), TaskFingerprint(t1_supported));
 }
 
-TEST(ContextCacheTest, OutOfRangeSupportIdAborts) {
+TEST(ContextCacheTest, OutOfRangeSupportIdReturnsStatus) {
   Graph g = PlantedGraph();
   int32_t max_attr = -1;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -130,8 +136,9 @@ TEST(ContextCacheTest, OutOfRangeSupportIdAborts) {
   tasks.subgraph_size = 60;
   QueryExample obs;
   obs.query = g.num_nodes() + 5;  // malformed external request
-  EXPECT_DEATH(BuildQueryTask(g, 3, {obs}, tasks, max_attr + 1, 7),
-               "support node id out of range");
+  const auto task = BuildQueryTask(g, 3, {obs}, tasks, max_attr + 1, 7);
+  ASSERT_FALSE(task.ok());
+  EXPECT_EQ(task.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(QueryServerTest, CachedContextIdenticalToFresh) {
@@ -144,8 +151,12 @@ TEST(QueryServerTest, CachedContextIdenticalToFresh) {
   req.graph_id = 1;
   req.query = 17;
   const SearchResponse fresh = server.Serve(req);
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status;
   EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.backend, "cgnp");
+  EXPECT_EQ(fresh.threshold, req.threshold);
   const SearchResponse cached = server.Serve(req);
+  ASSERT_TRUE(cached.status.ok()) << cached.status;
   EXPECT_TRUE(cached.cache_hit);
 
   // Cached vs freshly encoded context must produce identical predictions.
@@ -172,7 +183,8 @@ TEST(QueryServerTest, MatchesSingleThreadedEngineSearch) {
   const auto responses = server.ServeBatch(batch);
   ASSERT_EQ(responses.size(), batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    EXPECT_EQ(responses[i].members, engine.Search(g, batch[i].query))
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status;
+    EXPECT_EQ(responses[i].members, engine.Search(g, batch[i].query).value())
         << "multi-threaded serving diverged from Search on query "
         << batch[i].query;
   }
@@ -194,7 +206,7 @@ TEST(QueryServerTest, SupportedQueriesMatchEngineSearch) {
   req.graph = &g;
   req.query = q;
   req.support = {obs};
-  EXPECT_EQ(server.Serve(req).members, engine.Search(g, q, {obs}));
+  EXPECT_EQ(server.Serve(req).members, engine.Search(g, q, {obs}).value());
 }
 
 TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
@@ -233,6 +245,138 @@ TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
 
   server.ResetStats();
   EXPECT_EQ(server.Stats().requests, 0u);
+}
+
+// --- Backend selection by registry name ------------------------------------
+
+TEST(QueryServerBackendTest, UnknownBackendNameReturnsNotFound) {
+  serve::ServeOptions opt;
+  opt.backend = "definitely-not-a-backend";
+  const auto server = QueryServer::Create(nullptr, opt);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(server.status().message().find("kcore"), std::string::npos)
+      << "error should list the registered backends: " << server.status();
+}
+
+TEST(QueryServerBackendTest, CgnpBackendNeedsAnEngine) {
+  serve::ServeOptions opt;
+  opt.backend = "cgnp";
+  const auto server = QueryServer::Create(nullptr, opt);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerBackendTest, ClassicalBackendsMatchDirectCalls) {
+  Graph g = PlantedGraph();
+  for (const char* name : {"kcore", "ktruss"}) {
+    serve::ServeOptions opt;
+    opt.backend = name;
+    opt.num_threads = 2;
+    auto server = QueryServer::Create(nullptr, opt);
+    ASSERT_TRUE(server.ok()) << server.status();
+    EXPECT_EQ((*server)->backend_name(), name);
+
+    SearchRequest req;
+    req.graph = &g;
+    req.query = 17;
+    const SearchResponse resp = (*server)->Serve(req);
+    ASSERT_TRUE(resp.status.ok()) << resp.status;
+    EXPECT_EQ(resp.backend, name);
+    const std::vector<NodeId> direct = std::string(name) == "kcore"
+                                           ? KCoreCommunity(g, 17)
+                                           : KTrussCommunity(g, 17);
+    EXPECT_EQ(resp.members, direct)
+        << name << " served through the registry diverged from the direct "
+        << "src/cs/ call";
+    EXPECT_TRUE(resp.probs.empty()) << "classical membership is crisp";
+  }
+}
+
+TEST(QueryServerBackendTest, CgnpViaCreateMatchesEngineSearch) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  serve::ServeOptions opt;
+  opt.backend = "cgnp";
+  opt.num_threads = 2;
+  auto server = QueryServer::Create(&engine, opt);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  SearchRequest req;
+  req.graph = &g;
+  req.graph_id = 1;
+  req.query = 23;
+  const SearchResponse resp = (*server)->Serve(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status;
+  EXPECT_EQ(resp.backend, "cgnp");
+  EXPECT_EQ(resp.members, engine.Search(g, 23).value());
+}
+
+// --- Error paths: malformed requests never abort the server ----------------
+
+TEST(QueryServerErrorTest, OutOfRangeQueryIdReturnsStatusResponse) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/2);
+
+  SearchRequest req;
+  req.graph = &g;
+  req.query = g.num_nodes() + 100;
+  const SearchResponse resp = server.Serve(req);
+  ASSERT_FALSE(resp.status.ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(resp.members.empty());
+  EXPECT_EQ(server.Stats().errors, 1u);
+}
+
+TEST(QueryServerErrorTest, NullGraphReturnsStatusResponse) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/2);
+
+  SearchRequest req;  // graph left null
+  req.query = 3;
+  const SearchResponse resp = server.Serve(req);
+  ASSERT_FALSE(resp.status.ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerErrorTest, BatchMixesErrorsAndSuccesses) {
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+  QueryServer server(engine, /*num_threads=*/4);
+
+  std::vector<SearchRequest> batch;
+  for (NodeId q : {NodeId(3), NodeId(-7), NodeId(5), g.num_nodes()}) {
+    SearchRequest req;
+    req.graph = &g;
+    req.query = q;
+    batch.push_back(req);
+  }
+  const auto responses = server.ServeBatch(batch);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[1].status.ok());
+  EXPECT_TRUE(responses[2].status.ok());
+  EXPECT_FALSE(responses[3].status.ok());
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.backend, "cgnp");
+}
+
+TEST(QueryServerErrorTest, ClassicalBackendErrorsOnBadQuery) {
+  Graph g = PlantedGraph();
+  serve::ServeOptions opt;
+  opt.backend = "kcore";
+  auto server = QueryServer::Create(nullptr, opt);
+  ASSERT_TRUE(server.ok()) << server.status();
+  SearchRequest req;
+  req.graph = &g;
+  req.query = -1;
+  const SearchResponse resp = (*server)->Serve(req);
+  ASSERT_FALSE(resp.status.ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kOutOfRange);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#include "common/status.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cgnp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {InvalidArgumentError("bad arg"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {NotFoundError("missing"), StatusCode::kNotFound, "NOT_FOUND"},
+      {FailedPreconditionError("not yet"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {OutOfRangeError("past end"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {DataLossError("truncated"), StatusCode::kDataLoss, "DATA_LOSS"},
+      {UnimplementedError("someday"), StatusCode::kUnimplemented,
+       "UNIMPLEMENTED"},
+      {InternalError("bug"), StatusCode::kInternal, "INTERNAL"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    // ToString = "CODE: message".
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status(), Status::Ok());
+  EXPECT_EQ(InvalidArgumentError("x"), InvalidArgumentError("x"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InvalidArgumentError("y"));
+  EXPECT_FALSE(InvalidArgumentError("x") == NotFoundError("x"));
+}
+
+TEST(StatusTest, StreamsAsToString) {
+  std::ostringstream os;
+  os << NotFoundError("no such backend");
+  EXPECT_EQ(os.str(), "NOT_FOUND: no such backend");
+}
+
+TEST(StatusOrTest, HoldsValueOnSuccess) {
+  StatusOr<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.status(), Status::Ok());
+}
+
+TEST(StatusOrTest, HoldsErrorOnFailure) {
+  const StatusOr<int> err = NotFoundError("nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        const StatusOr<int> err = DataLossError("truncated");
+        (void)err.value();
+      },
+      "truncated");
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyPayloads) {
+  StatusOr<std::unique_ptr<int>> made = std::make_unique<int>(9);
+  ASSERT_TRUE(made.ok());
+  std::unique_ptr<int> owned = std::move(made).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(StatusOrTest, SupportsNonDefaultConstructiblePayloads) {
+  struct NoDefault {
+    explicit NoDefault(int x) : x(x) {}
+    int x;
+  };
+  StatusOr<NoDefault> ok = NoDefault(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->x, 5);
+  const StatusOr<NoDefault> err = InvalidArgumentError("no");
+  EXPECT_FALSE(err.ok());
+}
+
+namespace macros {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return Status::Ok();
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  if (x <= 0) return OutOfRangeError("not positive");
+  return 2 * x;
+}
+
+StatusOr<int> Chain(int x) {
+  CGNP_RETURN_IF_ERROR(FailWhenNegative(x));
+  CGNP_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(x));
+  CGNP_ASSIGN_OR_RETURN(const int quadrupled, DoubleIfPositive(doubled));
+  return quadrupled;
+}
+
+}  // namespace macros
+
+TEST(StatusOrTest, MacrosPropagateErrorsAndUnwrapValues) {
+  const auto ok = macros::Chain(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 12);
+
+  const auto invalid = macros::Chain(-1);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+
+  const auto range = macros::Chain(0);
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cgnp
