@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace cgnp;
   using namespace cgnp::bench;
-  BenchOptions opt = ParseOptions(argc, argv);
+  BenchOptions opt = ParseOptions(argc, argv, "fig3_efficiency");
 
   std::printf("Figure 3: training & test time per method (ms, scale=%s)\n",
               opt.paper_scale ? "paper" : "small");
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
         opt.test_tasks, &task_rng);
     if (split.train.empty() || split.test.empty()) continue;
     PrintTableHeader(profile.name + "  (Fig. 3a test time / 3b train time)");
-    RunRoster(opt, g.has_attributes(), split, profile.name);
+    RunRoster(opt, g.has_attributes(), split, {"sgsc", profile.name});
   }
 
   // Facebook (MGOD) and Cite2Cora (MGDD) columns of Fig. 3.
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     const TaskSplit split = MakeMultiGraphTasks(graphs, opt.task, &task_rng);
     if (!split.train.empty() && !split.test.empty()) {
       PrintTableHeader("Facebook  (Fig. 3a/3b)");
-      RunRoster(opt, /*attributed=*/true, split, "Facebook");
+      RunRoster(opt, /*attributed=*/true, split, {"mgod", "Facebook"});
     }
   }
   if (DatasetSelected(opt, "Cite2Cora")) {
@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
                               opt.valid_tasks, opt.test_tasks, &task_rng);
     if (!split.train.empty() && !split.test.empty()) {
       PrintTableHeader("Cite2Cora  (Fig. 3a/3b)");
-      RunRoster(opt, /*attributed=*/true, split, "Cite2Cora");
+      RunRoster(opt, /*attributed=*/true, split, {"mgdd", "Cite2Cora"});
     }
   }
-  return 0;
+  return FinishReport(opt);
 }

@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cgnp;
   using namespace cgnp::bench;
-  BenchOptions opt = ParseOptions(argc, argv);
+  BenchOptions opt = ParseOptions(argc, argv, "fig4_scalability");
 
   std::vector<int64_t> sizes = opt.paper_scale
                                    ? std::vector<int64_t>{200, 1000, 5000, 10000}
@@ -51,25 +51,14 @@ int main(int argc, char** argv) {
     std::snprintf(title, sizeof(title), "|V(G)| = %lld per task",
                   static_cast<long long>(size));
     PrintTableHeader(title);
-    // Learned methods only, as in the paper's figure.
-    for (auto& nm : MakeMethodRoster(run, /*attributed=*/false)) {
-      if (nm.name == "ATC" || nm.name == "CTC" || nm.name == "ACQ") continue;
-      MethodResult r;
-      r.name = nm.name;
-      r.train_ms = TimeMs([&] { nm.method->MetaTrain(split.train); });
-      StatsAccumulator acc;
-      r.test_ms = TimeMs([&] {
-        for (const auto& task : split.test) {
-          const auto preds = nm.method->PredictTask(task);
-          for (size_t i = 0; i < task.query.size(); ++i) {
-            acc.Add(EvaluateScores(preds[i], task.query[i].truth,
-                                   task.query[i].query));
-          }
-        }
-      });
-      r.stats = acc.MeanStats();
-      PrintResultRow(r);
-    }
+    // Learned methods only, as in the paper's figure; rows are recorded
+    // under a per-size case key.
+    RunRoster(run, /*attributed=*/false, split,
+              {"n" + std::to_string(size), "DBLP"},
+              [](const NamedMethod& nm) {
+                return nm.name != "ATC" && nm.name != "CTC" &&
+                       nm.name != "ACQ";
+              });
   }
-  return 0;
+  return FinishReport(opt);
 }

@@ -3,6 +3,7 @@
 // generators.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_export.h"
 #include "common/parallel.h"
 #include "data/synthetic.h"
 #include "graph/algorithms.h"
@@ -110,4 +111,6 @@ BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace cgnp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return cgnp::bench::RunMicroSuite(argc, argv, "micro_graph");
+}

@@ -7,6 +7,7 @@
 // run serial (threads=1) so historical numbers stay comparable.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_export.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
 #include "tensor/ops.h"
@@ -179,4 +180,6 @@ BENCHMARK(BM_BceWithLogits)->Arg(1000)->Arg(100000);
 }  // namespace
 }  // namespace cgnp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return cgnp::bench::RunMicroSuite(argc, argv, "micro_tensor");
+}

@@ -8,11 +8,10 @@
 // (Algorithm 2's inference asymmetry); the hit rate and the latency drop
 // it buys are reported per configuration.
 //
-// Output: the usual human-readable table plus one JSON object per
-// configuration on stdout (lines starting with '{'), e.g.
-//   {"bench":"serve_throughput","threads":4,"cache":1,"requests":240,
-//    "qps":812.3,"mean_ms":4.1,"p50_ms":3.2,"p99_ms":11.0,
-//    "cache_hit_rate":0.833,"speedup_vs_1thread_nocache":5.1}
+// Output: the usual human-readable table plus the canonical
+// BENCH_serve_throughput.json report (src/bench/report.h). One row per
+// server configuration, keyed case=cache_on|cache_off / backend / threads,
+// plus one `fit` row for the one-time engine training cost.
 #include <cstdio>
 #include <vector>
 
@@ -20,13 +19,40 @@
 #include "data/synthetic.h"
 #include "serve/query_server.h"
 
-int main(int argc, char** argv) {
-  using namespace cgnp;
-  using namespace cgnp::bench;
-  using serve::QueryServer;
-  using serve::SearchRequest;
+namespace {
 
-  BenchOptions opt = ParseOptions(argc, argv);
+using namespace cgnp;
+using namespace cgnp::bench;
+using serve::SearchRequest;
+
+// Stats -> canonical report row shared by every server configuration.
+BenchRow MakeServeRow(const BenchOptions& opt, const std::string& case_name,
+                      const serve::ServerStats& stats, int threads,
+                      double threshold, double speedup) {
+  BenchRow row;
+  row.case_name = case_name;
+  row.dataset = "synthetic";
+  row.backend = stats.backend;
+  row.threads = threads;
+  row.scale = opt.scale_name();
+  row.AddMetric("qps", stats.qps);
+  row.AddMetric("mean_ms", stats.mean_ms);
+  row.AddMetric("p50_ms", stats.p50_ms);
+  row.AddMetric("p99_ms", stats.p99_ms);
+  row.AddMetric("cache_hit_rate", stats.cache_hit_rate);
+  row.AddMetric("requests", static_cast<double>(stats.requests));
+  row.AddMetric("errors", static_cast<double>(stats.errors));
+  row.AddMetric("threshold", threshold);
+  if (speedup > 0) row.AddMetric("speedup_vs_1thread_nocache", speedup);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using serve::QueryServer;
+
+  BenchOptions opt = ParseOptions(argc, argv, "serve_throughput");
 
   // Data graph + trained engine (train once; the bench measures serving).
   Rng rng(opt.seed);
@@ -59,6 +85,16 @@ int main(int argc, char** argv) {
   }
   std::printf("engine fitted in %.0f ms; serving workload on %lld nodes\n",
               train_ms, static_cast<long long>(g.num_nodes()));
+  {
+    BenchRow fit_row;
+    fit_row.case_name = "fit";
+    fit_row.dataset = "synthetic";
+    fit_row.backend = "cgnp";
+    fit_row.threads = opt.kernel_threads;
+    fit_row.scale = opt.scale_name();
+    fit_row.AddMetric("train_ms", train_ms);
+    opt.reporter->Add(std::move(fit_row));
+  }
 
   // Workload: `distinct` communities asked `repeat` times each, shuffled.
   const int64_t distinct = opt.paper_scale ? 64 : 24;
@@ -92,36 +128,28 @@ int main(int argc, char** argv) {
                          cache_on ? static_cast<int64_t>(distinct * 2) : 0);
       // Warm-up pass keeps one-time costs (thread spawn, page faults) out
       // of the measurement; it also pre-fills the cache, putting the
-      // cache-on rows at their steady-state hit rate.
+      // cache-on rows at their steady-state hit rate. Additional repeats
+      // (--repeats=N) re-serve the whole stream; the reported stats are
+      // from the last pass, whose timing percentiles cover every pass via
+      // ResetStats only before the first.
       server.ServeBatch(
           std::vector<SearchRequest>(stream.begin(), stream.begin() + 8));
       server.ResetStats();
-      server.ServeBatch(stream);
+      for (int rep = 0; rep < opt.repeats; ++rep) server.ServeBatch(stream);
       const auto stats = server.Stats();
       if (!cache_on && threads == 1) baseline_qps = stats.qps;
       const double speedup = baseline_qps > 0 ? stats.qps / baseline_qps : 0;
       std::printf("%-8d %-6s %10.1f %10.2f %10.2f %10.2f %10.3f\n", threads,
                   cache_on ? "on" : "off", stats.qps, stats.mean_ms,
                   stats.p50_ms, stats.p99_ms, stats.cache_hit_rate);
-      // Backend and threshold keep rows attributable when bench output
-      // from several backends is merged into one stream.
-      std::printf(
-          "{\"bench\":\"serve_throughput\",\"scale\":\"%s\","
-          "\"backend\":\"%s\",\"threshold\":%.3f,\"threads\":%d,"
-          "\"cache\":%d,\"requests\":%llu,\"errors\":%llu,\"qps\":%.1f,"
-          "\"mean_ms\":%.3f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
-          "\"cache_hit_rate\":%.3f,\"speedup_vs_1thread_nocache\":%.2f}\n",
-          opt.paper_scale ? "paper" : "small", stats.backend.c_str(),
-          stream.front().threshold, threads, cache_on ? 1 : 0,
-          static_cast<unsigned long long>(stats.requests),
-          static_cast<unsigned long long>(stats.errors), stats.qps,
-          stats.mean_ms, stats.p50_ms, stats.p99_ms, stats.cache_hit_rate,
-          speedup);
+      opt.reporter->Add(MakeServeRow(opt, cache_on ? "cache_on" : "cache_off",
+                                     stats, threads, stream.front().threshold,
+                                     speedup));
     }
   }
 
   // Classical backends through the same server, selected by registry
-  // name: one attributable JSON row each.
+  // name: one attributable report row each.
   std::printf("\n%-8s %10s %10s %10s\n", "backend", "qps", "p50_ms",
               "p99_ms");
   for (const char* backend : {"kcore", "ktruss", "ctc"}) {
@@ -137,21 +165,13 @@ int main(int argc, char** argv) {
     (*server)->ServeBatch(
         std::vector<SearchRequest>(stream.begin(), stream.begin() + 8));
     (*server)->ResetStats();
-    (*server)->ServeBatch(stream);
+    for (int rep = 0; rep < opt.repeats; ++rep) (*server)->ServeBatch(stream);
     const auto stats = (*server)->Stats();
     std::printf("%-8s %10.1f %10.2f %10.2f\n", backend, stats.qps,
                 stats.p50_ms, stats.p99_ms);
-    std::printf(
-        "{\"bench\":\"serve_throughput\",\"scale\":\"%s\","
-        "\"backend\":\"%s\",\"threshold\":%.3f,\"threads\":4,\"cache\":0,"
-        "\"requests\":%llu,\"errors\":%llu,\"qps\":%.1f,\"mean_ms\":%.3f,"
-        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"cache_hit_rate\":%.3f,"
-        "\"speedup_vs_1thread_nocache\":0.00}\n",
-        opt.paper_scale ? "paper" : "small", stats.backend.c_str(),
-        stream.front().threshold,
-        static_cast<unsigned long long>(stats.requests),
-        static_cast<unsigned long long>(stats.errors), stats.qps,
-        stats.mean_ms, stats.p50_ms, stats.p99_ms, stats.cache_hit_rate);
+    opt.reporter->Add(MakeServeRow(opt, "classical", stats, sopt.num_threads,
+                                   stream.front().threshold, /*speedup=*/0));
   }
-  return 0;
+  AppendMetricsCsv(opt);
+  return FinishReport(opt);
 }

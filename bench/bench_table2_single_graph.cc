@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace cgnp;
   using namespace cgnp::bench;
-  BenchOptions opt = ParseOptions(argc, argv);
+  BenchOptions opt = ParseOptions(argc, argv, "table2_single_graph");
 
   const DatasetProfile datasets[] = {CiteseerProfile(), ArxivProfile(),
                                      RedditProfile(), DblpProfile()};
@@ -41,9 +41,12 @@ int main(int argc, char** argv) {
                       profile.name.c_str(), TaskRegimeName(regime),
                       static_cast<long long>(shots));
         PrintTableHeader(title);
-        RunRoster(run, attributed, split, title);
+        char case_name[64];
+        std::snprintf(case_name, sizeof(case_name), "%s_%lldshot",
+                      TaskRegimeName(regime), static_cast<long long>(shots));
+        RunRoster(run, attributed, split, {case_name, profile.name});
       }
     }
   }
-  return 0;
+  return FinishReport(opt);
 }

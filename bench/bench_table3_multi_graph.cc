@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace cgnp;
   using namespace cgnp::bench;
-  BenchOptions opt = ParseOptions(argc, argv);
+  BenchOptions opt = ParseOptions(argc, argv, "table3_multi_graph");
 
   std::printf("Table III: MGOD / MGDD tasks (scale=%s, seed=%llu)\n",
               opt.paper_scale ? "paper" : "small",
@@ -32,7 +32,10 @@ int main(int argc, char** argv) {
       std::snprintf(title, sizeof(title), "Facebook  MGOD  %lld-shot",
                     static_cast<long long>(shots));
       PrintTableHeader(title);
-      RunRoster(run, /*attributed=*/true, split, title);
+      char case_name[48];
+      std::snprintf(case_name, sizeof(case_name), "mgod_%lldshot",
+                    static_cast<long long>(shots));
+      RunRoster(run, /*attributed=*/true, split, {case_name, "Facebook"});
     }
   }
 
@@ -57,8 +60,11 @@ int main(int argc, char** argv) {
       std::snprintf(title, sizeof(title), "Cite2Cora  MGDD  %lld-shot",
                     static_cast<long long>(shots));
       PrintTableHeader(title);
-      RunRoster(run, /*attributed=*/true, split, title);
+      char case_name[48];
+      std::snprintf(case_name, sizeof(case_name), "mgdd_%lldshot",
+                    static_cast<long long>(shots));
+      RunRoster(run, /*attributed=*/true, split, {case_name, "Cite2Cora"});
     }
   }
-  return 0;
+  return FinishReport(opt);
 }

@@ -11,31 +11,18 @@ namespace {
 using namespace cgnp;
 using namespace cgnp::bench;
 
-void RunVariant(const BenchOptions& opt, const CgnpConfig& cfg,
-                const std::string& label, const TaskSplit& split) {
-  CgnpMethod method(cfg);
-  MethodResult r;
-  r.name = label;
-  r.train_ms = TimeMs([&] { method.MetaTrain(split.train); });
-  StatsAccumulator acc;
-  r.test_ms = TimeMs([&] {
-    for (const auto& task : split.test) {
-      const auto preds = method.PredictTask(task);
-      for (size_t i = 0; i < task.query.size(); ++i) {
-        acc.Add(EvaluateScores(preds[i], task.query[i].truth,
-                               task.query[i].query));
-      }
-    }
-  });
-  r.stats = acc.MeanStats();
+MethodResult RunVariant(const BenchOptions& opt, const CgnpConfig& cfg,
+                        const std::string& label, const TaskSplit& split) {
+  const MethodResult r = RunMethodRepeated(
+      opt, label, [&] { return std::make_unique<CgnpMethod>(cfg); }, split);
   PrintResultRow(r);
-  (void)opt;
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchOptions opt = ParseOptions(argc, argv);
+  BenchOptions opt = ParseOptions(argc, argv, "table4_ablation");
   opt.task.shots = 5;  // the paper ablates on 5-shot tasks
 
   std::printf("Table IV: CGNP ablations, 5-shot (scale=%s)\n",
@@ -59,17 +46,20 @@ int main(int argc, char** argv) {
     if (split.train.empty() || split.test.empty()) continue;
 
     PrintTableHeader(profile.name + "  encoder ablation (big-plus = average)");
+    std::vector<MethodResult> encoder_results;
     for (GnnKind kind : {GnnKind::kGcn, GnnKind::kGat, GnnKind::kSage}) {
       CgnpConfig cfg = opt.cgnp;
       cfg.decoder = DecoderKind::kGnn;  // paper ablates the GNN-decoder model
       cfg.encoder = kind;
       cfg.commutative = CommutativeOp::kAverage;
-      RunVariant(opt, cfg, GnnKindName(kind), split);
+      encoder_results.push_back(RunVariant(opt, cfg, GnnKindName(kind), split));
     }
+    RecordResults(opt, {"encoder_ablation", profile.name}, encoder_results);
 
     PrintTableHeader(profile.name + "  commutative ablation (encoder = GAT)");
     // The paper's three options plus the ANP-style per-node cross-attention
     // extension (DESIGN.md design decision #4).
+    std::vector<MethodResult> comm_results;
     for (CommutativeOp op :
          {CommutativeOp::kAttention, CommutativeOp::kSum,
           CommutativeOp::kAverage, CommutativeOp::kCrossAttention}) {
@@ -77,8 +67,9 @@ int main(int argc, char** argv) {
       cfg.decoder = DecoderKind::kGnn;
       cfg.encoder = GnnKind::kGat;
       cfg.commutative = op;
-      RunVariant(opt, cfg, CommutativeOpName(op), split);
+      comm_results.push_back(RunVariant(opt, cfg, CommutativeOpName(op), split));
     }
+    RecordResults(opt, {"commutative_ablation", profile.name}, comm_results);
   }
-  return 0;
+  return FinishReport(opt);
 }

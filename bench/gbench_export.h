@@ -1,0 +1,101 @@
+// Adapter routing Google-Benchmark micro benches through the canonical
+// BENCH_<suite>.json reporter (src/bench/report.h).
+//
+// RunMicroSuite replaces BENCHMARK_MAIN(): it strips the harness-level
+// --json= flag (Google Benchmark rejects unknown flags), runs the selected
+// benchmarks with normal console output, captures every finished run via a
+// ConsoleReporter subclass, and writes one schema-valid report. Counters
+// become metrics; the "threads" counter (set by the *ThreadSweep benches)
+// becomes the row's thread count; raw iteration counts are deliberately
+// not exported -- they vary run to run and would flag as drift.
+#ifndef CGNP_BENCH_GBENCH_EXPORT_H_
+#define CGNP_BENCH_GBENCH_EXPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+
+namespace cgnp {
+namespace bench {
+
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(const std::string& suite) : reporter_(suite) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // With --benchmark_repetitions, per-repetition runs are followed by
+      // mean/median/stddev aggregates; only the raw runs become rows
+      // (repeat/summary logic belongs to the schema's own fields).
+      if (run.run_type == Run::RT_Aggregate) continue;
+      BenchRow row;
+      row.case_name = run.benchmark_name();
+      row.backend = "";
+      row.dataset = "";
+      row.threads = 1;
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
+      row.AddMetric("wall_ms", run.real_accumulated_time / iterations * 1e3);
+      row.AddMetric("cpu_ms", run.cpu_accumulated_time / iterations * 1e3);
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "threads") {
+          row.threads = static_cast<int>(counter.value);
+          continue;
+        }
+        row.AddMetric(name, counter.value);
+      }
+      reporter_.Add(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const BenchReporter& reporter() const { return reporter_; }
+
+ private:
+  BenchReporter reporter_;
+};
+
+// Drop-in main() body for micro-bench binaries. Returns the process exit
+// code. `--json=PATH|off` controls the report destination (default
+// BENCH_<suite>.json); all other flags go to Google Benchmark untouched.
+inline int RunMicroSuite(int argc, char** argv, const std::string& suite) {
+  std::string json_path = "BENCH_" + suite + ".json";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path == "off") json_path.clear();
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonExportReporter exporter(suite);
+  benchmark::RunSpecifiedBenchmarks(&exporter);
+  benchmark::Shutdown();
+  if (json_path.empty()) return 0;
+  const Status written = exporter.reporter().WriteFile(json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)\n", json_path.c_str(),
+              exporter.reporter().report().rows.size());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace cgnp
+
+#endif  // CGNP_BENCH_GBENCH_EXPORT_H_

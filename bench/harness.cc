@@ -63,8 +63,10 @@ void ApplyScale(BenchOptions* opt) {
 
 }  // namespace
 
-BenchOptions ParseOptions(int argc, char** argv) {
+BenchOptions ParseOptions(int argc, char** argv, const std::string& suite) {
   BenchOptions opt;
+  opt.suite = suite;
+  opt.json_path = "BENCH_" + suite + ".json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale=paper") {
@@ -75,6 +77,15 @@ BenchOptions ParseOptions(int argc, char** argv) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(7);
+      if (opt.json_path == "off") opt.json_path.clear();
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      opt.repeats = std::max(1, static_cast<int>(std::strtol(
+                                    arg.c_str() + 10, nullptr, 10)));
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      opt.warmup = std::max(0, static_cast<int>(std::strtol(
+                                   arg.c_str() + 9, nullptr, 10)));
     } else if (arg.rfind("--threads=", 0) == 0) {
       opt.kernel_threads = static_cast<int>(std::strtol(arg.c_str() + 10,
                                                         nullptr, 10));
@@ -88,6 +99,7 @@ BenchOptions ParseOptions(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag: %s\nusage: %s [--scale=small|paper] "
                    "[--seed=N] [--threads=N] [--datasets=a,b,...] "
+                   "[--repeats=N] [--warmup=N] [--json=path|off] "
                    "[--csv=path]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
@@ -96,6 +108,7 @@ BenchOptions ParseOptions(int argc, char** argv) {
   ApplyScale(&opt);
   opt.method.seed = opt.seed;
   opt.cgnp.seed = opt.seed;
+  opt.reporter = std::make_shared<BenchReporter>(suite);
   // Pin the kernel thread count (default 1) so timing rows are comparable
   // across machines and with pre-parallelism runs unless the caller opts
   // into intra-op scaling explicitly.
@@ -171,30 +184,126 @@ void AppendCsv(const BenchOptions& opt, const std::string& context,
   }
 }
 
-std::vector<MethodResult> RunRoster(const BenchOptions& opt, bool attributed,
-                                    const TaskSplit& split,
-                                    const std::string& context) {
-  std::vector<MethodResult> results;
-  for (auto& nm : MakeMethodRoster(opt, attributed)) {
-    MethodResult r;
-    r.name = nm.name;
-    r.train_ms = TimeMs([&] { nm.method->MetaTrain(split.train); });
+void AppendMetricsCsv(const BenchOptions& opt) {
+  if (opt.csv_path.empty() || opt.reporter == nullptr) return;
+  std::ifstream probe(opt.csv_path);
+  const bool need_header = !probe.good() || probe.peek() == EOF;
+  probe.close();
+  std::ofstream out(opt.csv_path, std::ios::app);
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: cannot append CSV to %s\n",
+                 opt.csv_path.c_str());
+    return;
+  }
+  if (need_header) {
+    out << "suite,case,dataset,backend,threads,scale,metric,value,stddev\n";
+  }
+  const BenchReport& report = opt.reporter->report();
+  for (const BenchRow& row : report.rows) {
+    for (const auto& [name, m] : row.metrics) {
+      out << report.meta.suite << ',' << row.case_name << ',' << row.dataset
+          << ',' << row.backend << ',' << row.threads << ',' << row.scale
+          << ',' << name << ',' << m.value << ',' << m.stddev << '\n';
+    }
+  }
+}
+
+MethodResult RunMethodRepeated(
+    const BenchOptions& opt, const std::string& name,
+    const std::function<std::unique_ptr<CsMethod>()>& make,
+    const TaskSplit& split) {
+  MethodResult r;
+  r.name = name;
+  r.repeats = std::max(1, opt.repeats);
+  std::vector<double> train_samples, test_samples;
+  for (int rep = -opt.warmup; rep < r.repeats; ++rep) {
+    // Fresh instance per repetition: MetaTrain mutates the method, so
+    // re-timing a trained instance would measure a different workload.
+    std::unique_ptr<CsMethod> method = make();
     StatsAccumulator acc;
-    r.test_ms = TimeMs([&] {
+    const double train_ms = TimeMs([&] { method->MetaTrain(split.train); });
+    const double test_ms = TimeMs([&] {
       for (const auto& task : split.test) {
-        const auto preds = nm.method->PredictTask(task);
+        const auto preds = method->PredictTask(task);
         for (size_t i = 0; i < task.query.size(); ++i) {
           acc.Add(EvaluateScores(preds[i], task.query[i].truth,
                                  task.query[i].query));
         }
       }
     });
-    r.stats = acc.MeanStats();
-    results.push_back(std::move(r));
+    if (rep < 0) continue;  // warmup runs are not recorded
+    train_samples.push_back(train_ms);
+    test_samples.push_back(test_ms);
+    if (rep == 0) r.stats = acc.MeanStats();
+  }
+  const TimingStats train = SummarizeSamples(std::move(train_samples));
+  const TimingStats test = SummarizeSamples(std::move(test_samples));
+  r.train_ms = train.median_ms;
+  r.train_ms_std = train.stddev_ms;
+  r.test_ms = test.median_ms;
+  r.test_ms_std = test.stddev_ms;
+  return r;
+}
+
+void RecordResults(const BenchOptions& opt, const RosterScope& scope,
+                   const std::vector<MethodResult>& results) {
+  if (opt.reporter != nullptr) {
+    for (const MethodResult& r : results) {
+      BenchRow row;
+      row.case_name = scope.case_name;
+      row.dataset = scope.dataset;
+      row.backend = r.name;
+      row.threads = opt.kernel_threads;
+      row.scale = opt.scale_name();
+      row.repeats = r.repeats;
+      row.AddMetric("train_ms", r.train_ms, r.train_ms_std);
+      row.AddMetric("test_ms", r.test_ms, r.test_ms_std);
+      row.AddMetric("accuracy", r.stats.accuracy);
+      row.AddMetric("precision", r.stats.precision);
+      row.AddMetric("recall", r.stats.recall);
+      row.AddMetric("f1", r.stats.f1);
+      opt.reporter->Add(std::move(row));
+    }
+  }
+  AppendCsv(opt, scope.dataset + "/" + scope.case_name, results);
+}
+
+std::vector<MethodResult> RunRoster(
+    const BenchOptions& opt, bool attributed, const TaskSplit& split,
+    const RosterScope& scope,
+    const std::function<bool(const NamedMethod&)>& include) {
+  std::vector<MethodResult> results;
+  auto roster = MakeMethodRoster(opt, attributed);
+  for (size_t mi = 0; mi < roster.size(); ++mi) {
+    if (include != nullptr && !include(roster[mi])) continue;
+    // The factory rebuilds method mi from scratch for each timed repeat
+    // (rebuilding the whole roster to extract one entry is fine: method
+    // construction just copies configs); the first call reuses the
+    // already-constructed instance.
+    auto first = std::move(roster[mi].method);
+    const auto make = [&]() -> std::unique_ptr<CsMethod> {
+      if (first != nullptr) return std::move(first);
+      return std::move(MakeMethodRoster(opt, attributed)[mi].method);
+    };
+    results.push_back(
+        RunMethodRepeated(opt, roster[mi].name, make, split));
     PrintResultRow(results.back());
   }
-  AppendCsv(opt, context, results);
+  RecordResults(opt, scope, results);
   return results;
+}
+
+int FinishReport(const BenchOptions& opt) {
+  if (opt.reporter == nullptr) return 0;
+  if (opt.json_path.empty()) return 0;
+  const Status written = opt.reporter->WriteFile(opt.json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu rows)\n", opt.json_path.c_str(),
+              opt.reporter->report().rows.size());
+  return 0;
 }
 
 void PrintTableHeader(const std::string& title) {

@@ -1,0 +1,82 @@
+// Minimal JSON document model for the benchmark-reporting spine.
+//
+// The library is dependency-free by design (the container bakes in only
+// the C++ toolchain), so the BENCH_<suite>.json schema is read and written
+// by this small value type instead of a third-party parser. It supports
+// exactly what the schema needs -- null/bool/number/string/array/object,
+// insertion-ordered object keys so emitted reports diff cleanly -- and
+// reports malformed input as Status values (never aborts: bench_compare
+// parses files that may come from other commits).
+#ifndef CGNP_BENCH_JSON_H_
+#define CGNP_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cgnp {
+namespace bench {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json MakeBool(bool b);
+  static Json MakeNumber(double v);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; calling the wrong one is a programming error (CHECK).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Json>& Items() const;                  // array
+  const std::vector<std::pair<std::string, Json>>& Members() const;  // object
+
+  // Object lookup; nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  // Convenience typed lookups with fallbacks for optional schema fields.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+
+  // Mutation (object/array builders).
+  Json& Set(const std::string& key, Json value);  // add or replace; returns *this
+  Json& Append(Json value);                       // array push_back
+
+  // Serialises the document. indent < 0 emits one compact line; indent >= 0
+  // pretty-prints with that many spaces per level (reports use 1 so git
+  // diffs of committed baselines stay reviewable).
+  std::string Dump(int indent = -1) const;
+
+  // Parses a complete JSON document (trailing junk is an error).
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace bench
+}  // namespace cgnp
+
+#endif  // CGNP_BENCH_JSON_H_

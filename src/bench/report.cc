@@ -1,0 +1,231 @@
+#include "bench/report.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace cgnp {
+namespace bench {
+
+BenchRow& BenchRow::AddMetric(const std::string& name, double value,
+                              double stddev) {
+  for (auto& [k, v] : metrics) {
+    if (k == name) {
+      v = MetricValue{value, stddev};
+      return *this;
+    }
+  }
+  metrics.push_back({name, MetricValue{value, stddev}});
+  return *this;
+}
+
+const MetricValue* BenchRow::FindMetric(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string BenchRow::Key(const std::string& suite) const {
+  return suite + "|" + case_name + "|" + dataset + "|" + backend + "|t" +
+         std::to_string(threads) + "|" + scale;
+}
+
+namespace {
+
+std::string DetectGitSha() {
+  // CI exports the exact commit; local runs fall back to asking git.
+  for (const char* var : {"CGNP_GIT_SHA", "GITHUB_SHA"}) {
+    const char* v = std::getenv(var);
+    if (v != nullptr && v[0] != '\0') return v;
+  }
+#if !defined(_WIN32)
+  FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+ReportMeta MakeReportMeta(const std::string& suite) {
+  ReportMeta meta;
+  meta.suite = suite;
+  meta.git_sha = DetectGitSha();
+#ifdef CGNP_BUILD_TYPE
+  meta.build_type = CGNP_BUILD_TYPE;
+#endif
+#ifdef CGNP_CXX_ID
+  meta.host_cxx = CGNP_CXX_ID;
+#endif
+  meta.host_cores = static_cast<int>(std::thread::hardware_concurrency());
+  return meta;
+}
+
+Json BenchReporter::ReportToJson(const BenchReport& report) {
+  Json doc = Json::MakeObject();
+  doc.Set("schema_version", Json::MakeNumber(kBenchSchemaVersion));
+  doc.Set("suite", Json::MakeString(report.meta.suite));
+  doc.Set("git_sha", Json::MakeString(report.meta.git_sha));
+  doc.Set("build_type", Json::MakeString(report.meta.build_type));
+  Json host = Json::MakeObject();
+  host.Set("cores", Json::MakeNumber(report.meta.host_cores));
+  host.Set("cxx", Json::MakeString(report.meta.host_cxx));
+  doc.Set("host", std::move(host));
+  Json rows = Json::MakeArray();
+  for (const BenchRow& r : report.rows) {
+    Json row = Json::MakeObject();
+    row.Set("case", Json::MakeString(r.case_name));
+    row.Set("dataset", Json::MakeString(r.dataset));
+    row.Set("backend", Json::MakeString(r.backend));
+    row.Set("threads", Json::MakeNumber(r.threads));
+    row.Set("scale", Json::MakeString(r.scale));
+    row.Set("repeats", Json::MakeNumber(r.repeats));
+    Json metrics = Json::MakeObject();
+    for (const auto& [name, m] : r.metrics) {
+      Json mv = Json::MakeObject();
+      mv.Set("value", Json::MakeNumber(m.value));
+      mv.Set("stddev", Json::MakeNumber(m.stddev));
+      metrics.Set(name, std::move(mv));
+    }
+    row.Set("metrics", std::move(metrics));
+    rows.Append(std::move(row));
+  }
+  doc.Set("results", std::move(rows));
+  return doc;
+}
+
+Status BenchReporter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return InvalidArgumentError("cannot open report file for writing: " +
+                                path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out.good()) return DataLossError("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<BenchReport> ParseReport(const std::string& json_text) {
+  CGNP_ASSIGN_OR_RETURN(Json doc, Json::Parse(json_text));
+  if (!doc.is_object()) {
+    return DataLossError("report is not a JSON object");
+  }
+  const double version = doc.GetNumber("schema_version", -1);
+  if (version != kBenchSchemaVersion) {
+    return DataLossError("unsupported schema_version " +
+                         std::to_string(version) + " (want " +
+                         std::to_string(kBenchSchemaVersion) + ")");
+  }
+  BenchReport report;
+  report.meta.suite = doc.GetString("suite", "");
+  if (report.meta.suite.empty()) {
+    return DataLossError("report missing \"suite\"");
+  }
+  report.meta.git_sha = doc.GetString("git_sha", "unknown");
+  report.meta.build_type = doc.GetString("build_type", "unknown");
+  if (const Json* host = doc.Find("host"); host != nullptr) {
+    report.meta.host_cores = static_cast<int>(host->GetNumber("cores", 0));
+    report.meta.host_cxx = host->GetString("cxx", "unknown");
+  }
+  const Json* rows = doc.Find("results");
+  if (rows == nullptr || !rows->is_array()) {
+    return DataLossError("report missing \"results\" array");
+  }
+  for (const Json& row : rows->Items()) {
+    if (!row.is_object()) return DataLossError("result row is not an object");
+    BenchRow r;
+    r.case_name = row.GetString("case", "");
+    if (r.case_name.empty()) {
+      return DataLossError("result row missing \"case\"");
+    }
+    r.dataset = row.GetString("dataset", "");
+    r.backend = row.GetString("backend", "");
+    r.threads = static_cast<int>(row.GetNumber("threads", 1));
+    r.scale = row.GetString("scale", "small");
+    r.repeats = static_cast<int>(row.GetNumber("repeats", 1));
+    const Json* metrics = row.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object() ||
+        metrics->Members().empty()) {
+      return DataLossError("result row \"" + r.case_name +
+                           "\" has no metrics");
+    }
+    for (const auto& [name, mv] : metrics->Members()) {
+      if (!mv.is_object()) {
+        return DataLossError("metric \"" + name + "\" is not an object");
+      }
+      const Json* value = mv.Find("value");
+      // Non-finite values serialise as null; such metrics are dropped
+      // rather than silently compared as zero.
+      if (value == nullptr || !value->is_number()) continue;
+      r.AddMetric(name, value->AsNumber(), mv.GetNumber("stddev", 0));
+    }
+    report.rows.push_back(std::move(r));
+  }
+  return report;
+}
+
+StatusOr<BenchReport> LoadReportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return NotFoundError("cannot open report file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseReport(buf.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+TimingStats SummarizeSamples(std::vector<double> samples_ms) {
+  TimingStats stats;
+  stats.repeats = static_cast<int>(samples_ms.size());
+  if (samples_ms.empty()) return stats;
+  stats.samples_ms = samples_ms;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  const size_t n = samples_ms.size();
+  stats.median_ms = (n % 2 == 1)
+                        ? samples_ms[n / 2]
+                        : 0.5 * (samples_ms[n / 2 - 1] + samples_ms[n / 2]);
+  double mean = 0;
+  for (const double s : samples_ms) mean += s;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (const double s : samples_ms) var += (s - mean) * (s - mean);
+  stats.stddev_ms = std::sqrt(var / static_cast<double>(n));
+  return stats;
+}
+
+TimingStats MeasureMs(const std::function<void()>& fn, int repeats,
+                      int warmup) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(std::max(repeats, 1)));
+  for (int i = 0; i < std::max(repeats, 1); ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return SummarizeSamples(std::move(samples));
+}
+
+}  // namespace bench
+}  // namespace cgnp

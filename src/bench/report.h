@@ -1,0 +1,133 @@
+// BenchReporter: the single reporting spine for every bench binary.
+//
+// Every benchmark in bench/ -- the paper-table and figure benches, the
+// serving bench, and the Google-Benchmark micro benches -- routes its
+// results through this library, which emits one canonical machine-readable
+// schema per suite to BENCH_<suite>.json:
+//
+//   {
+//     "schema_version": 1,
+//     "suite": "fig3_efficiency",
+//     "git_sha": "abc123def456",
+//     "build_type": "Release",
+//     "host": {"cores": 8, "cxx": "GNU 12.2.0"},
+//     "results": [
+//       {"case": "sgsc", "dataset": "Citeseer", "backend": "CGNP-GNN",
+//        "threads": 1, "scale": "small", "repeats": 3,
+//        "metrics": {"train_ms": {"value": 812.0, "stddev": 14.2},
+//                    "f1": {"value": 0.8132, "stddev": 0}}}
+//     ]
+//   }
+//
+// A result row is keyed by (suite, case, dataset, backend, threads, scale);
+// tools/bench_compare matches rows across two reports by that key. Metric
+// names carry their comparison semantics by convention (see compare.h):
+// "*_ms" is a lower-is-better timing, "qps"/"*_per_second"/"speedup*" are
+// higher-is-better timings, everything else (f1, accuracy, counts) is an
+// exact/accuracy metric whose drift is a hard failure.
+//
+// Warmup + N-repeat + median/stddev logic lives here (MeasureMs /
+// SummarizeSamples) instead of per-binary timing loops.
+#ifndef CGNP_BENCH_REPORT_H_
+#define CGNP_BENCH_REPORT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/status.h"
+
+namespace cgnp {
+namespace bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct MetricValue {
+  double value = 0;
+  double stddev = 0;  // 0 for single-shot or exact metrics
+};
+
+// One benchmark result row.
+struct BenchRow {
+  std::string case_name;  // serialised as "case"
+  std::string dataset;    // "" when not dataset-bound (micro benches)
+  std::string backend;    // method / backend under test; "" for substrate
+  int threads = 1;        // intra-op kernel threads (or server workers)
+  std::string scale = "small";  // small | paper
+  int repeats = 1;
+  std::vector<std::pair<std::string, MetricValue>> metrics;  // ordered
+
+  BenchRow& AddMetric(const std::string& name, double value,
+                      double stddev = 0);
+  const MetricValue* FindMetric(const std::string& name) const;
+  // "suite|case|dataset|backend|t<threads>|scale" -- the cross-report
+  // match key (suite passed in because rows do not store it).
+  std::string Key(const std::string& suite) const;
+};
+
+struct ReportMeta {
+  std::string suite;
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
+  int host_cores = 0;
+  std::string host_cxx = "unknown";
+};
+
+struct BenchReport {
+  ReportMeta meta;
+  std::vector<BenchRow> rows;
+};
+
+// Fills git_sha (CGNP_GIT_SHA / GITHUB_SHA env, else `git rev-parse`),
+// build_type + compiler (compile-time defines), and core count.
+ReportMeta MakeReportMeta(const std::string& suite);
+
+// Collects rows for one suite and serialises them.
+class BenchReporter {
+ public:
+  explicit BenchReporter(const std::string& suite)
+      : report_{MakeReportMeta(suite), {}} {}
+
+  void Add(BenchRow row) { report_.rows.push_back(std::move(row)); }
+  const BenchReport& report() const { return report_; }
+  std::string suite() const { return report_.meta.suite; }
+
+  std::string ToJson() const { return ReportToJson(report_).Dump(1) + "\n"; }
+  // Writes ToJson() to `path`, replacing any previous report.
+  Status WriteFile(const std::string& path) const;
+
+  static Json ReportToJson(const BenchReport& report);
+
+ private:
+  BenchReport report_;
+};
+
+// Parsing / validation (used by bench_compare and the tests). Rejects
+// documents with a missing/foreign schema_version, missing suite, or rows
+// without a case name or metrics.
+StatusOr<BenchReport> ParseReport(const std::string& json_text);
+StatusOr<BenchReport> LoadReportFile(const std::string& path);
+
+// --- Centralised timing -----------------------------------------------------
+
+struct TimingStats {
+  double median_ms = 0;
+  double stddev_ms = 0;
+  int repeats = 0;
+  std::vector<double> samples_ms;
+};
+
+// Median + population stddev of the samples (the summary every timing
+// metric reports). Empty input yields zeros.
+TimingStats SummarizeSamples(std::vector<double> samples_ms);
+
+// Runs fn `warmup` untimed times, then `repeats` timed times.
+TimingStats MeasureMs(const std::function<void()>& fn, int repeats = 1,
+                      int warmup = 0);
+
+}  // namespace bench
+}  // namespace cgnp
+
+#endif  // CGNP_BENCH_REPORT_H_

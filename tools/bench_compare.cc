@@ -1,0 +1,239 @@
+// bench_compare: diff two benchmark reports (or directories of
+// BENCH_*.json) and gate on regressions.
+//
+//   bench_compare [flags] <baseline file|dir> <current file|dir>
+//
+// Flags:
+//   --threshold=F            relative noise threshold for timing metrics
+//                            (default 0.15 = 15%)
+//   --accuracy-tol=F         absolute tolerance for exact metrics (f1,
+//                            counts; default 0.02)
+//   --timing-floor=F         skip "*_ms" metrics where both sides are
+//                            below F milliseconds (default 5: jitter, not
+//                            signal)
+//   --case-threshold=SUB=F   per-case timing threshold override; SUB is a
+//                            substring of the case key, first match wins
+//                            (repeatable)
+//   --advisory-timing        timing regressions print GitHub ::warning::
+//                            annotations instead of failing (accuracy
+//                            drift, schema errors, and missing cases still
+//                            fail) -- the shared-runner CI mode
+//   --update-baseline        copy the current reports over the baseline
+//                            (file onto file, or every BENCH_*.json into
+//                            the baseline directory) and exit 0
+//
+// Exit codes: 0 clean, 1 regression / drift / missing case,
+//             2 usage, IO, or schema error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/compare.h"
+#include "bench/report.h"
+
+namespace fs = std::filesystem;
+using cgnp::bench::BenchReport;
+using cgnp::bench::CaseComparison;
+using cgnp::bench::CompareOptions;
+using cgnp::bench::CompareReports;
+using cgnp::bench::CompareResult;
+using cgnp::bench::ExitCodeFor;
+using cgnp::bench::LoadReportFile;
+using cgnp::bench::MetricClass;
+using cgnp::bench::MetricDelta;
+using cgnp::bench::Verdict;
+using cgnp::bench::VerdictName;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threshold=F] [--accuracy-tol=F] [--timing-floor=F] "
+      "[--case-threshold=SUBSTR=F]... [--advisory-timing] "
+      "[--update-baseline] <baseline file|dir> <current file|dir>\n",
+      argv0);
+  return 2;
+}
+
+// Collects the report files behind a path: the file itself, or every
+// BENCH_*.json directly inside a directory.
+std::vector<std::string> ReportPaths(const std::string& path) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        out.push_back(entry.path().string());
+      }
+    }
+    std::sort(out.begin(), out.end());
+  } else if (fs::exists(path, ec)) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+bool LoadSide(const std::string& label, const std::string& path,
+              std::vector<BenchReport>* reports) {
+  const std::vector<std::string> files = ReportPaths(path);
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no report files found at %s (%s side)\n",
+                 path.c_str(), label.c_str());
+    return false;
+  }
+  for (const std::string& file : files) {
+    auto report = LoadReportFile(file);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return false;
+    }
+    reports->push_back(std::move(report).value());
+  }
+  return true;
+}
+
+int UpdateBaseline(const std::string& baseline, const std::string& current) {
+  const std::vector<std::string> files = ReportPaths(current);
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no report files found at %s\n",
+                 current.c_str());
+    return 2;
+  }
+  std::error_code ec;
+  if (!fs::is_directory(baseline, ec)) {
+    if (files.size() != 1) {
+      std::fprintf(stderr,
+                   "error: baseline %s is a file but current side has %zu "
+                   "reports\n",
+                   baseline.c_str(), files.size());
+      return 2;
+    }
+    fs::copy_file(files[0], baseline, fs::copy_options::overwrite_existing,
+                  ec);
+    if (ec) {
+      std::fprintf(stderr, "error: copying %s -> %s: %s\n", files[0].c_str(),
+                   baseline.c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::printf("updated baseline %s\n", baseline.c_str());
+    return 0;
+  }
+  for (const std::string& file : files) {
+    const fs::path dest = fs::path(baseline) / fs::path(file).filename();
+    fs::copy_file(file, dest, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: copying %s -> %s: %s\n", file.c_str(),
+                   dest.string().c_str(), ec.message().c_str());
+      return 2;
+    }
+    std::printf("updated %s\n", dest.string().c_str());
+  }
+  return 0;
+}
+
+void PrintDelta(const CaseComparison& cc, const MetricDelta& d,
+                bool advisory_mode) {
+  const bool timing = d.metric_class != MetricClass::kExact;
+  const char* unit = timing ? "%" : "";
+  const double shown = timing ? d.change * 100 : d.change;
+  std::printf("  %-60s %-22s %12.4g %12.4g %+9.2f%s  %s\n", cc.key.c_str(),
+              d.metric.c_str(), d.baseline, d.current, shown, unit,
+              VerdictName(d.verdict));
+  if (advisory_mode && d.verdict == Verdict::kAdvisory) {
+    std::printf("::warning::bench %s %s slowed %.1f%% past the %.0f%% "
+                "threshold (baseline %.4g, current %.4g)\n",
+                cc.key.c_str(), d.metric.c_str(), d.change * 100,
+                cc.threshold * 100, d.baseline, d.current);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  bool update_baseline = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      options.timing_threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--accuracy-tol=", 0) == 0) {
+      options.accuracy_tolerance = std::strtod(arg.c_str() + 15, nullptr);
+    } else if (arg.rfind("--timing-floor=", 0) == 0) {
+      options.timing_floor_ms = std::strtod(arg.c_str() + 15, nullptr);
+    } else if (arg.rfind("--case-threshold=", 0) == 0) {
+      const std::string spec = arg.substr(17);
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "error: malformed --case-threshold=%s\n",
+                     spec.c_str());
+        return Usage(argv[0]);
+      }
+      options.case_thresholds.emplace_back(
+          spec.substr(0, eq), std::strtod(spec.c_str() + eq + 1, nullptr));
+    } else if (arg == "--advisory-timing") {
+      options.advisory_timing = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage(argv[0]);
+  const std::string& baseline_path = positional[0];
+  const std::string& current_path = positional[1];
+
+  if (update_baseline) return UpdateBaseline(baseline_path, current_path);
+
+  std::vector<BenchReport> baseline, current;
+  if (!LoadSide("baseline", baseline_path, &baseline)) return 2;
+  if (!LoadSide("current", current_path, &current)) return 2;
+
+  const CompareResult result = CompareReports(baseline, current, options);
+
+  std::printf("%-62s %-22s %12s %12s %10s  %s\n", "case", "metric",
+              "baseline", "current", "delta", "verdict");
+  int shown = 0;
+  for (const CaseComparison& cc : result.cases) {
+    for (const MetricDelta& d : cc.deltas) {
+      // The full matrix is large; print every non-ok verdict plus a
+      // compact count of clean metrics.
+      if (d.verdict == Verdict::kOk) {
+        ++shown;
+        continue;
+      }
+      PrintDelta(cc, d, options.advisory_timing);
+    }
+  }
+  std::printf("(%d metrics within tolerance not shown)\n", shown);
+
+  for (const std::string& key : result.missing_cases) {
+    std::printf("::error::bench case missing from current run: %s\n",
+                key.c_str());
+  }
+  for (const std::string& key : result.extra_cases) {
+    std::printf("note: new case (not in baseline, run --update-baseline to "
+                "adopt): %s\n",
+                key.c_str());
+  }
+  std::printf(
+      "\nsummary: %zu cases compared, %d regressions, %d drifts, "
+      "%d advisories, %d improvements, %zu missing, %zu new\n",
+      result.cases.size(), result.regressions, result.drifts,
+      result.advisories, result.improvements, result.missing_cases.size(),
+      result.extra_cases.size());
+  const int exit_code = ExitCodeFor(result);
+  std::printf("verdict: %s\n", exit_code == 0 ? "OK" : "FAIL");
+  return exit_code;
+}
