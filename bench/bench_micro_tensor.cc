@@ -10,6 +10,7 @@
 #include "bench/gbench_export.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 
@@ -152,6 +153,49 @@ void BM_MatMulThreadSweep(benchmark::State& state) {
   state.counters["threads"] = threads;
 }
 BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Observability hot path: one counter bump + one histogram record per
+// iteration -- the per-request record cost the serving layer pays. Runs
+// the loop body on N concurrent threads (benchmark ->Threads), so the
+// sharded-atomic design shows up directly: per-op cost should stay flat
+// as threads grow instead of collapsing onto one contended cache line.
+void BM_ObsHotPathThreadSweep(benchmark::State& state) {
+  static obs::Counter* counter =
+      &obs::MetricsRegistry::Default().GetCounter("cgnp_bench_hot_total");
+  static obs::Histogram* hist =
+      &obs::MetricsRegistry::Default().GetHistogram("cgnp_bench_hot_ms");
+  for (auto _ : state) {
+    counter->Increment();
+    hist->Record(0.42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["threads"] =
+      benchmark::Counter(state.threads(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ObsHotPathThreadSweep)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+// Same body with the runtime kill switch off: the record path reduces to
+// a relaxed load + branch. The gap to the enabled rows is the entire
+// runtime cost of observability (the compile-time CGNP_OBS=OFF path is
+// cheaper still: the calls inline away to nothing).
+void BM_ObsHotPathDisabledThreadSweep(benchmark::State& state) {
+  static obs::Counter* counter =
+      &obs::MetricsRegistry::Default().GetCounter("cgnp_bench_hot_total");
+  static obs::Histogram* hist =
+      &obs::MetricsRegistry::Default().GetHistogram("cgnp_bench_hot_ms");
+  for (auto _ : state) {
+    counter->Increment();
+    hist->Record(0.42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["threads"] =
+      benchmark::Counter(state.threads(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ObsHotPathDisabledThreadSweep)
+    ->Setup([](const benchmark::State&) { obs::SetEnabled(false); })
+    ->Teardown([](const benchmark::State&) { obs::SetEnabled(true); })
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 void BM_AdamStep(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -17,6 +17,7 @@
 
 #include "bench/harness.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "serve/query_server.h"
 
 namespace {
@@ -44,6 +45,21 @@ BenchRow MakeServeRow(const BenchOptions& opt, const std::string& case_name,
   row.AddMetric("errors", static_cast<double>(stats.errors));
   row.AddMetric("threshold", threshold);
   if (speedup > 0) row.AddMetric("speedup_vs_1thread_nocache", speedup);
+  // Per-stage medians from the trace spans (task_build/encode/decode for
+  // cgnp, search for classical). encode_skip_rate = fraction of requests
+  // that reused a cached context and skipped the encoder entirely --
+  // cache-on rows should show it tracking the hit rate, proving hits
+  // skip encode rather than merely returning faster.
+  uint64_t encode_count = 0;
+  for (const auto& st : stats.stages) {
+    row.AddMetric(st.stage + "_p50_ms", st.p50_ms);
+    if (st.stage == "encode") encode_count = st.count;
+  }
+  if (stats.cache_eligible > 0) {
+    row.AddMetric("encode_skip_rate",
+                  1.0 - static_cast<double>(encode_count) /
+                            static_cast<double>(stats.cache_eligible));
+  }
   return row;
 }
 
@@ -172,6 +188,38 @@ int main(int argc, char** argv) {
     opt.reporter->Add(MakeServeRow(opt, "classical", stats, sopt.num_threads,
                                    stream.front().threshold, /*speedup=*/0));
   }
+  // Observability overhead: the same cached-server workload with the
+  // runtime obs switch on vs off. Both are full record paths through the
+  // sharded counters / spans (on) or the early-out branch (off); the gap
+  // is what instrumentation costs a served request.
+  {
+    QueryServer server(engine, /*num_threads=*/2,
+                       static_cast<int64_t>(distinct * 2));
+    server.ServeBatch(
+        std::vector<SearchRequest>(stream.begin(), stream.begin() + 8));
+    server.ResetStats();
+    const double obs_on_ms = TimeMs([&] {
+      for (int rep = 0; rep < opt.repeats; ++rep) server.ServeBatch(stream);
+    });
+    obs::SetEnabled(false);
+    server.ResetStats();
+    const double obs_off_ms = TimeMs([&] {
+      for (int rep = 0; rep < opt.repeats; ++rep) server.ServeBatch(stream);
+    });
+    obs::SetEnabled(true);
+    std::printf("\nobs overhead: on %.1f ms, off %.1f ms (%zu requests)\n",
+                obs_on_ms, obs_off_ms, stream.size() * opt.repeats);
+    BenchRow row;
+    row.case_name = "obs_overhead";
+    row.dataset = "synthetic";
+    row.backend = "cgnp";
+    row.threads = 2;
+    row.scale = opt.scale_name();
+    row.AddMetric("obs_on_ms", obs_on_ms);
+    row.AddMetric("obs_off_ms", obs_off_ms);
+    opt.reporter->Add(std::move(row));
+  }
+
   AppendMetricsCsv(opt);
   return FinishReport(opt);
 }

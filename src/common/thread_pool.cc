@@ -22,6 +22,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
@@ -40,6 +41,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     fn();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -11,7 +11,9 @@
 #ifndef CGNP_COMMON_THREAD_POOL_H_
 #define CGNP_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -35,6 +37,11 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Tasks submitted but not yet finished (queued + running). Exposed for
+  // observability (the serving layer exports it as a queue-depth gauge);
+  // instantaneous by nature, exact with respect to Submit/completion.
+  int64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
  private:
   void WorkerLoop();
 
@@ -42,6 +49,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::atomic<int64_t> pending_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -8,6 +8,9 @@
 #include "common/check.h"
 #include "core/checkpoint.h"
 #include "graph/sampling.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/io.h"
 
 namespace cgnp {
@@ -39,6 +42,7 @@ StatusOr<LocalQueryTask> BuildQueryTask(
     return InvalidArgumentError("task subgraph_size must be positive, got " +
                                 std::to_string(tasks.subgraph_size));
   }
+  CGNP_TRACE_SPAN("task_build");
 
   LocalQueryTask out;
   Rng rng(seed ^ static_cast<uint64_t>(query + 1));
@@ -75,6 +79,7 @@ std::vector<NodeId> MembersFromContext(const CgnpModel& model,
                                        const LocalQueryTask& task,
                                        const Tensor& context, float threshold,
                                        std::vector<float>* member_probs) {
+  CGNP_TRACE_SPAN("decode");
   Tensor logits = model.QueryLogits(task.graph, context, task.query, nullptr);
   const std::vector<float> probs = SigmoidValues(logits);
   std::vector<NodeId> members;
@@ -124,15 +129,44 @@ Status CommunitySearchEngine::Fit(const Graph& g) {
   feature_dim_ = train.front().graph.feature_dim();
   Rng model_rng(options_.model.seed);
   model_ = std::make_unique<CgnpModel>(options_.model, feature_dim_, &model_rng);
+  const auto fit_start = std::chrono::steady_clock::now();
   if (!valid.empty()) {
     CgnpMetaTrainWithValidation(model_.get(), train, valid,
                                 options_.model.epochs, options_.model.lr,
                                 options_.model.seed,
                                 options_.early_stop_patience);
   } else {
+    // Per-epoch observability: epoch counter + last-loss gauge in the
+    // default registry, and a rate-limited structured progress line.
+    auto& reg = obs::MetricsRegistry::Default();
+    obs::Counter& epochs_total = reg.GetCounter("cgnp_fit_epochs_total");
+    obs::Gauge& mean_loss = reg.GetGauge("cgnp_fit_mean_loss");
+    auto epoch_start = std::chrono::steady_clock::now();
     CgnpMetaTrain(model_.get(), train, options_.model.epochs,
-                  options_.model.lr, options_.model.seed);
+                  options_.model.lr, options_.model.seed,
+                  [&](const CgnpEpochStats& s) {
+                    const auto now = std::chrono::steady_clock::now();
+                    const double epoch_ms =
+                        std::chrono::duration<double, std::milli>(
+                            now - epoch_start)
+                            .count();
+                    epoch_start = now;
+                    epochs_total.Increment();
+                    mean_loss.Set(s.mean_loss);
+                    CGNP_LOG_EVERY(kDebug, "fit_epoch", /*per_second=*/20.0)
+                        .Num("epoch", static_cast<double>(s.epoch))
+                        .Num("mean_loss", s.mean_loss)
+                        .Num("epoch_ms", epoch_ms);
+                  });
   }
+  const double fit_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - fit_start)
+                            .count();
+  CGNP_LOG(kInfo, "fit_done")
+      .Num("train_tasks", static_cast<double>(train.size()))
+      .Num("valid_tasks", static_cast<double>(valid.size()))
+      .Num("epochs", static_cast<double>(options_.model.epochs))
+      .Num("elapsed_ms", fit_ms);
   return Status::Ok();
 }
 
@@ -164,7 +198,11 @@ StatusOr<QueryResult> CommunitySearchEngine::Query(
   // Inference only: never record tape (see the thread-safety contract on
   // CgnpModel's const methods in core/cgnp.h).
   NoGradGuard no_grad;
-  Tensor context = model_->TaskContext(task.graph, task.support, nullptr);
+  Tensor context;
+  {
+    CGNP_TRACE_SPAN("encode");
+    context = model_->TaskContext(task.graph, task.support, nullptr);
+  }
   QueryResult result;
   result.backend = "cgnp";
   result.members = MembersFromContext(*model_, task, context,
@@ -172,6 +210,12 @@ StatusOr<QueryResult> CommunitySearchEngine::Query(
   const auto end = std::chrono::steady_clock::now();
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+  // Same family the classical adapters record into (cs/searcher.cc), so
+  // backends compare on one dashboard.
+  static obs::Histogram* search_ms =
+      &obs::MetricsRegistry::Default().GetHistogram(
+          "cgnp_backend_search_ms", {{"backend", "cgnp"}});
+  search_ms->Record(result.elapsed_ms);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "cs/kcore_community.h"
 #include "cs/kecc_community.h"
 #include "cs/ktruss_community.h"
+#include "obs/metrics.h"
 
 namespace cgnp {
 
@@ -58,7 +59,10 @@ class ClassicalSearcher : public CommunitySearcher {
   using Algorithm = std::function<std::vector<NodeId>(const Graph&, NodeId)>;
 
   ClassicalSearcher(std::string name, Algorithm algorithm)
-      : name_(std::move(name)), algorithm_(std::move(algorithm)) {}
+      : name_(std::move(name)),
+        algorithm_(std::move(algorithm)),
+        search_ms_(&obs::MetricsRegistry::Default().GetHistogram(
+            "cgnp_backend_search_ms", {{"backend", name_}})) {}
 
   const std::string& name() const override { return name_; }
 
@@ -74,12 +78,16 @@ class ClassicalSearcher : public CommunitySearcher {
     const auto end = std::chrono::steady_clock::now();
     result.elapsed_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
+    search_ms_->Record(result.elapsed_ms);
     return result;
   }
 
  private:
   const std::string name_;
   const Algorithm algorithm_;
+  // Per-backend elapsed-time histogram in the default registry (shared
+  // family with the learned backend; see core/engine.cc).
+  obs::Histogram* const search_ms_;
 };
 
 struct Registry {

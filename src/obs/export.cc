@@ -1,0 +1,200 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgnp {
+namespace obs {
+
+namespace {
+
+const char* KindTypeName(MetricPoint::Kind kind) {
+  switch (kind) {
+    case MetricPoint::Kind::kCounter: return "counter";
+    case MetricPoint::Kind::kGauge: return "gauge";
+    case MetricPoint::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Shortest round-trippable decimal; integers render without a fraction
+// (Prometheus accepts both, integers diff cleanly).
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest precision that round-trips, so bucket bounds print as
+  // "0.005" rather than "0.0050000000000000001".
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendEscapedLabelValue(const std::string& v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+// Renders {k="v",...}; `extra` appends one more pair (the histogram `le`).
+std::string LabelBlock(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscapedLabelValue(v, &out);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    AppendEscapedLabelValue(extra_value, &out);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricPoint& point : snapshot) {
+    if (point.name != last_family) {
+      out += "# TYPE " + point.name + " " + KindTypeName(point.kind) + "\n";
+      last_family = point.name;
+    }
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+      case MetricPoint::Kind::kGauge:
+        out += point.name + LabelBlock(point.labels) + " " +
+               FormatValue(point.value) + "\n";
+        break;
+      case MetricPoint::Kind::kHistogram: {
+        const HistogramSnapshot& h = point.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          const std::string le =
+              i < h.bounds.size() ? FormatValue(h.bounds[i]) : "+Inf";
+          out += point.name + "_bucket" +
+                 LabelBlock(point.labels, "le", le) + " " +
+                 FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        out += point.name + "_sum" + LabelBlock(point.labels) + " " +
+               FormatValue(h.sum) + "\n";
+        out += point.name + "_count" + LabelBlock(point.labels) + " " +
+               FormatValue(static_cast<double>(h.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<PrometheusSeries>> ParsePrometheusText(
+    const std::string& text) {
+  std::vector<PrometheusSeries> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // Split at the last space OUTSIDE label braces (label values may
+    // contain spaces).
+    size_t split = std::string::npos;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) {
+        in_quotes = !in_quotes;
+      } else if (line[i] == ' ' && !in_quotes) {
+        split = i;
+      }
+    }
+    if (split == std::string::npos || split == 0 ||
+        split + 1 >= line.size()) {
+      return InvalidArgumentError("malformed Prometheus series line: " +
+                                  line);
+    }
+    PrometheusSeries series;
+    series.series = line.substr(0, split);
+    char* end = nullptr;
+    const std::string value_text = line.substr(split + 1);
+    series.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) {
+      return InvalidArgumentError("bad Prometheus sample value: " + line);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+bench::Json MetricsToJson(const MetricsSnapshot& snapshot) {
+  bench::Json doc = bench::Json::MakeObject();
+  bench::Json metrics = bench::Json::MakeArray();
+  for (const MetricPoint& point : snapshot) {
+    bench::Json m = bench::Json::MakeObject();
+    m.Set("name", bench::Json::MakeString(point.name));
+    bench::Json labels = bench::Json::MakeObject();
+    for (const auto& [k, v] : point.labels) {
+      labels.Set(k, bench::Json::MakeString(v));
+    }
+    m.Set("labels", std::move(labels));
+    m.Set("type", bench::Json::MakeString(KindTypeName(point.kind)));
+    switch (point.kind) {
+      case MetricPoint::Kind::kCounter:
+      case MetricPoint::Kind::kGauge:
+        m.Set("value", bench::Json::MakeNumber(point.value));
+        break;
+      case MetricPoint::Kind::kHistogram: {
+        const HistogramSnapshot& h = point.histogram;
+        m.Set("sum", bench::Json::MakeNumber(h.sum));
+        m.Set("count",
+              bench::Json::MakeNumber(static_cast<double>(h.count)));
+        bench::Json buckets = bench::Json::MakeArray();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          bench::Json b = bench::Json::MakeObject();
+          if (i < h.bounds.size()) {
+            b.Set("le", bench::Json::MakeNumber(h.bounds[i]));
+          } else {
+            b.Set("le", bench::Json::MakeString("+Inf"));
+          }
+          b.Set("count",
+                bench::Json::MakeNumber(static_cast<double>(cumulative)));
+          buckets.Append(std::move(b));
+        }
+        m.Set("buckets", std::move(buckets));
+        break;
+      }
+    }
+    metrics.Append(std::move(m));
+  }
+  doc.Set("metrics", std::move(metrics));
+  return doc;
+}
+
+}  // namespace obs
+}  // namespace cgnp

@@ -1,0 +1,55 @@
+// Exporters over a MetricsSnapshot: Prometheus text exposition format and
+// a JSON document built on the src/bench Json value type (the same value
+// type the BENCH_<suite>.json reports use, so downstream tooling parses
+// one dialect).
+//
+// Both operate on a snapshot -- scrape once, render any number of times:
+//
+//   auto snap = obs::MetricsRegistry::Default().Snapshot();
+//   std::string prom = obs::ToPrometheusText(snap);
+//   std::string json = obs::MetricsToJson(snap).Dump(1);
+//
+// tools/obs_dump exposes both from the command line; a future socket
+// server mounts ToPrometheusText at /metrics verbatim.
+#ifndef CGNP_OBS_EXPORT_H_
+#define CGNP_OBS_EXPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cgnp {
+namespace obs {
+
+// Prometheus text exposition format (version 0.0.4): one "# TYPE" line
+// per metric family, counters/gauges as single series, histograms as
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`. Label
+// values are escaped per the spec.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// One parsed Prometheus series: fully-qualified name (labels included,
+// exactly as exposed) and its value.
+struct PrometheusSeries {
+  std::string series;  // e.g. cgnp_serve_requests_total{backend="cgnp"}
+  double value = 0;
+};
+
+// Minimal parser for the exposition format (series lines; comments and
+// blank lines skipped). Used by the round-trip tests and obs_dump
+// self-check; returns InvalidArgument on a malformed line.
+StatusOr<std::vector<PrometheusSeries>> ParsePrometheusText(
+    const std::string& text);
+
+// JSON snapshot: {"metrics": [{"name", "labels", "type", ...}, ...]}.
+// Counters/gauges carry "value"; histograms carry "sum", "count" and a
+// "buckets" array of {"le", "count"} with cumulative counts ("+Inf" last).
+bench::Json MetricsToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace cgnp
+
+#endif  // CGNP_OBS_EXPORT_H_

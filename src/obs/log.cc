@@ -1,0 +1,137 @@
+#include "obs/log.h"
+
+#include <cstdio>
+
+namespace cgnp {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+void Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+double NowWallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+RateLimiter::RateLimiter(double per_second, double burst)
+    : per_second_(per_second > 0 ? per_second : 0),
+      burst_(burst > 0 ? burst : std::max(1.0, per_second_)),
+      tokens_(burst_),
+      last_(std::chrono::steady_clock::now()) {}
+
+bool RateLimiter::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  tokens_ = std::min(
+      burst_, tokens_ + per_second_ * std::chrono::duration<double>(
+                                          now - last_).count());
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++dropped_;
+  return false;
+}
+
+uint64_t RateLimiter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view event)
+    : LogEvent(level, event, /*allowed=*/true) {}
+
+LogEvent::LogEvent(LogLevel level, std::string_view event, bool allowed) {
+  if (!allowed || !Enabled() || level < MinLogLevel()) return;
+  enabled_ = true;
+  doc_ = bench::Json::MakeObject();
+  doc_.Set("ts_ms", bench::Json::MakeNumber(NowWallMs()));
+  doc_.Set("level", bench::Json::MakeString(LogLevelName(level)));
+  doc_.Set("event", bench::Json::MakeString(std::string(event)));
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  Emit(doc_.Dump(-1));
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (enabled_) {
+    doc_.Set(std::string(key), bench::Json::MakeString(std::string(value)));
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Num(std::string_view key, double value) {
+  if (enabled_) {
+    doc_.Set(std::string(key), bench::Json::MakeNumber(value));
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  if (enabled_) {
+    doc_.Set(std::string(key), bench::Json::MakeBool(value));
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Err(const Status& status) {
+  if (enabled_ && !status.ok()) {
+    doc_.Set("status_code",
+             bench::Json::MakeString(StatusCodeName(status.code())));
+    doc_.Set("status_message", bench::Json::MakeString(status.message()));
+  }
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace cgnp

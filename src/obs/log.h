@@ -1,0 +1,127 @@
+// Structured logging: leveled, JSON-line, rate-limited, Status-aware.
+//
+//   CGNP_LOG(kInfo, "fit_done").Num("epochs", 40).Num("elapsed_ms", t);
+//   CGNP_LOG_EVERY(kDebug, "fit_epoch", /*per_second=*/20.0)
+//       .Num("epoch", s.epoch).Num("mean_loss", s.mean_loss);
+//   CGNP_LOG(kWarn, "checkpoint_load_failed").Err(status);
+//
+// emits one JSON object per line on the configured sink (stderr by
+// default), e.g.
+//
+//   {"ts_ms":1717000000123,"level":"info","event":"fit_done",
+//    "epochs":40,"elapsed_ms":8123.4}
+//
+// Lines are built with the src/bench Json value type, so keys keep
+// insertion order and string escaping is correct by construction. The
+// whole facility compiles out under -DCGNP_OBS=OFF (the macros produce a
+// no-op object) and respects the runtime obs::SetEnabled switch.
+//
+// This replaces ad-hoc stream logging inside the library: library code
+// never writes to std::cerr directly -- operators choose the sink, tests
+// capture it, and every line is machine-parseable.
+#ifndef CGNP_OBS_LOG_H_
+#define CGNP_OBS_LOG_H_
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "bench/json.h"
+#include "common/status.h"
+#include "obs/metrics.h"  // CGNP_OBS_ENABLED + runtime Enabled()
+
+namespace cgnp {
+namespace obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+// Events below the minimum level are dropped before any formatting work.
+// Default: kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+// Where finished lines go. The sink receives one complete JSON line
+// (no trailing newline) and may be called from any thread (serialised by
+// an internal mutex). Passing nullptr restores the default stderr sink.
+using LogSink = std::function<void(const std::string& line)>;
+void SetLogSink(LogSink sink);
+
+// Token-bucket limiter for noisy call sites; `burst` tokens are available
+// immediately, refilling at `per_second`. Thread-safe.
+class RateLimiter {
+ public:
+  explicit RateLimiter(double per_second, double burst = 0);
+  // True when this call may proceed; false counts as dropped.
+  bool Allow();
+  uint64_t dropped() const;
+
+ private:
+  const double per_second_;
+  const double burst_;
+  mutable std::mutex mu_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+  uint64_t dropped_ = 0;
+};
+
+// Builder for one log line; emits in the destructor. Construct through
+// the macros below.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  // `allowed` = rate-limiter verdict; false suppresses the line.
+  LogEvent(LogLevel level, std::string_view event, bool allowed);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Num(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+  // Adds "status_code" / "status_message" fields for a non-OK status
+  // (OK adds nothing -- callers can log unconditionally).
+  LogEvent& Err(const Status& status);
+
+ private:
+  bool enabled_ = false;
+  bench::Json doc_;
+};
+
+// No-op stand-in used when the layer is compiled out; accepts the same
+// chained calls and generates no code.
+struct NullLogEvent {
+  template <typename... Args>
+  NullLogEvent& Str(Args&&...) { return *this; }
+  template <typename... Args>
+  NullLogEvent& Num(Args&&...) { return *this; }
+  template <typename... Args>
+  NullLogEvent& Bool(Args&&...) { return *this; }
+  template <typename... Args>
+  NullLogEvent& Err(Args&&...) { return *this; }
+};
+
+}  // namespace obs
+}  // namespace cgnp
+
+#if CGNP_OBS_ENABLED
+#define CGNP_LOG(severity, event) \
+  ::cgnp::obs::LogEvent(::cgnp::obs::LogLevel::severity, (event))
+// Per-call-site rate limit: at most `per_second` lines per second from
+// this source location (suppressed lines cost one Allow() call).
+#define CGNP_LOG_EVERY(severity, event, per_second)                        \
+  ::cgnp::obs::LogEvent(::cgnp::obs::LogLevel::severity, (event),          \
+                        ([&]() -> bool {                                   \
+                          static ::cgnp::obs::RateLimiter                  \
+                              cgnp_log_rate_limiter_((per_second));        \
+                          return cgnp_log_rate_limiter_.Allow();           \
+                        })())
+#else
+#define CGNP_LOG(severity, event) ::cgnp::obs::NullLogEvent()
+#define CGNP_LOG_EVERY(severity, event, per_second) ::cgnp::obs::NullLogEvent()
+#endif
+
+#endif  // CGNP_OBS_LOG_H_

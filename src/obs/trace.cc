@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+namespace cgnp {
+namespace obs {
+
+namespace {
+
+thread_local TraceCollector* t_active = nullptr;
+
+}  // namespace
+
+TraceCollector::TraceCollector() : prev_(t_active) {
+#if CGNP_OBS_ENABLED
+  t_active = this;
+#endif
+}
+
+TraceCollector::~TraceCollector() {
+#if CGNP_OBS_ENABLED
+  t_active = prev_;
+#endif
+}
+
+std::vector<StageTiming> TraceCollector::Take() {
+  std::vector<StageTiming> out = std::move(nodes_);
+  nodes_.clear();
+  depth_ = 0;
+  return out;
+}
+
+bool TraceCollector::Active() { return t_active != nullptr; }
+
+TraceSpan::TraceSpan(const char* stage) {
+#if CGNP_OBS_ENABLED
+  TraceCollector* collector = t_active;
+  if (collector == nullptr || !Enabled()) return;
+  collector_ = collector;
+  index_ = collector->nodes_.size();
+  StageTiming node;
+  node.name = stage;
+  node.depth = collector->depth_;
+  collector->nodes_.push_back(std::move(node));
+  ++collector->depth_;
+  start_ = std::chrono::steady_clock::now();
+#else
+  (void)stage;
+#endif
+}
+
+TraceSpan::~TraceSpan() {
+#if CGNP_OBS_ENABLED
+  if (collector_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  collector_->nodes_[index_].ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  --collector_->depth_;
+#endif
+}
+
+}  // namespace obs
+}  // namespace cgnp

@@ -1,0 +1,92 @@
+// RAII trace spans: a per-query stage-timing tree with near-zero cost
+// when nobody is listening.
+//
+//   StatusOr<...> BuildQueryTask(...) {
+//     CGNP_TRACE_SPAN("task_build");
+//     ...
+//   }
+//
+// Spans record only while a TraceCollector is installed on the current
+// thread (the QueryServer installs one around each request); otherwise a
+// span is one thread-local load and a branch. Collectors nest: the
+// innermost one captures. Each closed span lands in the collector as a
+// pre-order (name, elapsed ms, depth) node, so the caller gets the full
+// stage tree of whatever ran inside its scope -- the serving layer
+// forwards it in SearchResponse::stages and aggregates depth-0 stages
+// into per-backend/per-stage histograms.
+//
+// Threading: a collector and every span recorded into it live on ONE
+// thread (spans are stack-scoped by construction). Different threads
+// trace independently.
+#ifndef CGNP_OBS_TRACE_H_
+#define CGNP_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // CGNP_OBS_ENABLED + runtime Enabled()
+
+namespace cgnp {
+namespace obs {
+
+// One finished span. `depth` is the nesting level inside the collector
+// (0 = top-level stage); nodes appear in pre-order, so a node's children
+// are the following deeper nodes.
+struct StageTiming {
+  std::string name;
+  double ms = 0;
+  int depth = 0;
+};
+
+// Scoped sink for spans on the current thread. Install one, run the
+// traced code, Take() the tree.
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Moves out the finished spans (pre-order) and clears the collector.
+  std::vector<StageTiming> Take();
+
+  // True when a collector is installed on this thread (spans will record).
+  static bool Active();
+
+ private:
+  friend class TraceSpan;
+  std::vector<StageTiming> nodes_;
+  int depth_ = 0;
+  TraceCollector* prev_ = nullptr;
+};
+
+// The RAII span. Prefer the CGNP_TRACE_SPAN macro, which compiles out
+// entirely under -DCGNP_OBS=OFF.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* stage);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* collector_ = nullptr;  // null: inactive (not recording)
+  size_t index_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace cgnp
+
+#define CGNP_OBS_CONCAT_INNER_(a, b) a##b
+#define CGNP_OBS_CONCAT_(a, b) CGNP_OBS_CONCAT_INNER_(a, b)
+
+#if CGNP_OBS_ENABLED
+#define CGNP_TRACE_SPAN(stage) \
+  ::cgnp::obs::TraceSpan CGNP_OBS_CONCAT_(cgnp_trace_span_, __LINE__)(stage)
+#else
+#define CGNP_TRACE_SPAN(stage) ((void)0)
+#endif
+
+#endif  // CGNP_OBS_TRACE_H_

@@ -1,9 +1,32 @@
 #include "serve/context_cache.h"
 
+#include "obs/metrics.h"
+
 namespace cgnp {
 namespace serve {
 
 namespace {
+
+// Process-wide cache-effectiveness counters (all caches aggregated; the
+// per-server window view lives in ServerStats). Pointers are fetched once
+// and shared -- counters themselves are sharded and lock-free.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+};
+
+const CacheMetrics& GlobalCacheMetrics() {
+  static const CacheMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    return CacheMetrics{
+        &reg.GetCounter("cgnp_context_cache_hits_total"),
+        &reg.GetCounter("cgnp_context_cache_misses_total"),
+        &reg.GetCounter("cgnp_context_cache_evictions_total"),
+    };
+  }();
+  return m;
+}
 
 constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
 constexpr uint64_t kFnvPrime = 0x100000001B3ull;
@@ -43,10 +66,12 @@ bool ContextCache::Get(const Key& key, Tensor* out) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    GlobalCacheMetrics().misses->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
+  GlobalCacheMetrics().hits->Increment();
   *out = it->second->second;
   return true;
 }
@@ -65,6 +90,8 @@ void ContextCache::Put(const Key& key, Tensor context) {
   if (static_cast<int64_t>(lru_.size()) > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
+    ++evictions_;
+    GlobalCacheMetrics().evictions->Increment();
   }
 }
 
@@ -87,6 +114,11 @@ uint64_t ContextCache::hits() const {
 uint64_t ContextCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+uint64_t ContextCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace serve

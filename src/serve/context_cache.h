@@ -58,6 +58,9 @@ class ContextCache {
   int64_t capacity() const { return capacity_; }
   uint64_t hits() const;
   uint64_t misses() const;
+  // Entries displaced by capacity pressure over the cache's lifetime
+  // (Clear() does not count as eviction).
+  uint64_t evictions() const;
 
  private:
   struct KeyHash {
@@ -76,6 +79,7 @@ class ContextCache {
       index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace serve

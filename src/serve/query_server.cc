@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "tensor/ops.h"
 
 namespace cgnp {
@@ -52,9 +54,24 @@ QueryServer::QueryServer(const CgnpModel* model,
       backend_name_(options.backend),
       options_(std::move(options)),
       cache_(options_.cache_capacity),
-      pool_(options_.num_threads) {
+      pool_(options_.num_threads),
+      latency_reservoir_(static_cast<size_t>(
+          std::max<int64_t>(1, options_.latency_reservoir))) {
   CGNP_CHECK((model_ != nullptr) != (backend_ != nullptr))
       << " exactly one of model/backend must drive the server";
+  // Resolve the per-backend registry metrics once; recording through the
+  // cached pointers is sharded and lock-free.
+  auto& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels = {{"backend", backend_name_}};
+  metrics_.requests = &reg.GetCounter("cgnp_serve_requests_total", labels);
+  metrics_.errors = &reg.GetCounter("cgnp_serve_errors_total", labels);
+  metrics_.cache_hits = &reg.GetCounter("cgnp_serve_cache_hits_total", labels);
+  metrics_.latency_ms = &reg.GetHistogram("cgnp_serve_latency_ms", labels);
+  metrics_.queue_depth = &reg.GetGauge("cgnp_serve_queue_depth", labels);
+  CGNP_LOG(kDebug, "serve_start")
+      .Str("backend", backend_name_)
+      .Num("num_threads", options_.num_threads)
+      .Num("cache_capacity", static_cast<double>(options_.cache_capacity));
 }
 
 QueryServer::QueryServer(const CgnpModel* model, ServeOptions options)
@@ -134,6 +151,7 @@ Status QueryServer::AnswerRequest(const SearchRequest& request,
 
   if (backend_ != nullptr) {
     // Registry backend: it performs the full input validation itself.
+    CGNP_TRACE_SPAN("search");
     CGNP_ASSIGN_OR_RETURN(
         QueryResult result,
         backend_->Search(*request.graph, request.query, request.support,
@@ -162,10 +180,12 @@ Status QueryServer::AnswerRequest(const SearchRequest& request,
   }
 
   const ContextCache::Key key{request.graph_id, TaskFingerprint(task)};
+  resp->cache_eligible = true;  // the cgnp path consults the cache
   Tensor context;
   if (cache_.Get(key, &context)) {
     resp->cache_hit = true;
   } else {
+    CGNP_TRACE_SPAN("encode");
     context = model_->TaskContext(task.graph, task.support, nullptr);
     cache_.Put(key, context);
   }
@@ -177,32 +197,83 @@ Status QueryServer::AnswerRequest(const SearchRequest& request,
   return Status::Ok();
 }
 
+void QueryServer::RecordStages(const std::vector<obs::StageTiming>& stages) {
+  // Caller holds stats_mu_. Only depth-0 spans aggregate (children are
+  // already included in their parent's elapsed time).
+  for (const auto& st : stages) {
+    if (st.depth != 0) continue;
+    StageAccum& acc = stage_accums_[st.name];
+    if (acc.global == nullptr) {
+      acc.global = &obs::MetricsRegistry::Default().GetHistogram(
+          "cgnp_serve_stage_ms",
+          {{"backend", backend_name_}, {"stage", st.name}});
+    }
+    ++acc.count;
+    acc.total_ms += st.ms;
+    if (acc.samples.size() < latency_reservoir_) {
+      acc.samples.push_back(st.ms);
+    } else {
+      acc.samples[acc.next] = st.ms;
+      acc.next = (acc.next + 1) % latency_reservoir_;
+    }
+    acc.global->Record(st.ms);
+  }
+}
+
 SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
+  metrics_.queue_depth->Set(static_cast<double>(pool_.pending()));
   const auto start = std::chrono::steady_clock::now();
   SearchResponse resp;
   resp.backend = backend_name_;
   resp.threshold = request.threshold;
+#if CGNP_OBS_ENABLED
+  // Capture this request's stage tree: spans fired anywhere below
+  // AnswerRequest (task_build/encode/decode in the engine, search in the
+  // classical adapters) land in this collector.
+  std::optional<obs::TraceCollector> collector;
+  if (obs::Enabled()) collector.emplace();
+#endif
   resp.status = AnswerRequest(request, &resp);
   if (!resp.status.ok()) {
     resp.members.clear();
     resp.probs.clear();
     resp.cache_hit = false;
+    CGNP_LOG_EVERY(kWarn, "serve_request_failed", /*per_second=*/1.0)
+        .Str("backend", backend_name_)
+        .Err(resp.status);
   }
+#if CGNP_OBS_ENABLED
+  if (collector) resp.stages = collector->Take();
+#endif
   const auto end = std::chrono::steady_clock::now();
   resp.latency_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
 
+  metrics_.requests->Increment();
+  if (!resp.status.ok()) metrics_.errors->Increment();
+  if (resp.cache_hit) metrics_.cache_hits->Increment();
+  metrics_.latency_ms->Record(resp.latency_ms);
+
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    if (latencies_ms_.size() < kMaxLatencySamples) {
+    if (latencies_ms_.size() < latency_reservoir_) {
       latencies_ms_.push_back(resp.latency_ms);
     } else {
       latencies_ms_[latency_next_] = resp.latency_ms;
-      latency_next_ = (latency_next_ + 1) % kMaxLatencySamples;
+      latency_next_ = (latency_next_ + 1) % latency_reservoir_;
     }
     ++stat_requests_;
     if (!resp.status.ok()) ++stat_errors_;
     if (resp.cache_hit) ++stat_cache_hits_;
+    if (resp.cache_eligible) ++stat_cache_eligible_;
+    // Running extremes, independent of the bounded reservoir above.
+    if (stat_requests_ == 1) {
+      stat_min_ms_ = stat_max_ms_ = resp.latency_ms;
+    } else {
+      stat_min_ms_ = std::min(stat_min_ms_, resp.latency_ms);
+      stat_max_ms_ = std::max(stat_max_ms_, resp.latency_ms);
+    }
+    if (!resp.stages.empty()) RecordStages(resp.stages);
     if (!window_open_) {
       window_start_ = start;
       window_open_ = true;
@@ -246,7 +317,25 @@ ServerStats QueryServer::Stats() const {
     s.requests = stat_requests_;
     s.errors = stat_errors_;
     s.cache_hits = stat_cache_hits_;
+    s.cache_eligible = stat_cache_eligible_;
+    s.min_ms = stat_min_ms_;
+    s.max_ms = stat_max_ms_;
+    // The cache counts displacements over its lifetime; window against
+    // the snapshot taken at the last ResetStats.
+    s.cache_evictions = cache_.evictions() - cache_evictions_at_reset_;
     sorted = latencies_ms_;
+    for (const auto& [stage, acc] : stage_accums_) {
+      if (acc.count == 0) continue;
+      StageStats ss;
+      ss.stage = stage;
+      ss.count = acc.count;
+      ss.total_ms = acc.total_ms;
+      ss.mean_ms = acc.total_ms / static_cast<double>(acc.count);
+      std::vector<double> samples = acc.samples;
+      std::sort(samples.begin(), samples.end());
+      ss.p50_ms = PercentileOf(samples, 0.50);
+      s.stages.push_back(std::move(ss));
+    }
     if (window_open_ && s.requests > 0) {
       const double secs = std::chrono::duration<double>(
                               window_end_ - window_start_)
@@ -254,11 +343,13 @@ ServerStats QueryServer::Stats() const {
       s.qps = secs > 0 ? static_cast<double>(s.requests) / secs : 0.0;
     }
   }
-  s.cache_misses = s.requests - s.cache_hits;
-  s.cache_hit_rate =
-      s.requests > 0
-          ? static_cast<double>(s.cache_hits) / static_cast<double>(s.requests)
-          : 0.0;
+  // Honest cache accounting: classical backends never consult the cache,
+  // so they contribute neither hits nor misses.
+  s.cache_misses = s.cache_eligible - s.cache_hits;
+  s.cache_hit_rate = s.cache_eligible > 0
+                         ? static_cast<double>(s.cache_hits) /
+                               static_cast<double>(s.cache_eligible)
+                         : 0.0;
   if (!sorted.empty()) {
     std::sort(sorted.begin(), sorted.end());
     double sum = 0;
@@ -267,7 +358,6 @@ ServerStats QueryServer::Stats() const {
     s.p50_ms = PercentileOf(sorted, 0.50);
     s.p90_ms = PercentileOf(sorted, 0.90);
     s.p99_ms = PercentileOf(sorted, 0.99);
-    s.max_ms = sorted.back();
   }
   return s;
 }
@@ -279,8 +369,50 @@ void QueryServer::ResetStats() {
   stat_requests_ = 0;
   stat_errors_ = 0;
   stat_cache_hits_ = 0;
+  stat_cache_eligible_ = 0;
+  stat_min_ms_ = stat_max_ms_ = 0.0;
+  cache_evictions_at_reset_ = cache_.evictions();
+  stage_accums_.clear();
   window_open_ = false;
   window_start_ = window_end_ = std::chrono::steady_clock::time_point{};
+}
+
+bench::Json ServerStatsToJson(const ServerStats& stats) {
+  bench::Json doc = bench::Json::MakeObject();
+  doc.Set("backend", bench::Json::MakeString(stats.backend));
+  doc.Set("requests", bench::Json::MakeNumber(
+                          static_cast<double>(stats.requests)));
+  doc.Set("errors",
+          bench::Json::MakeNumber(static_cast<double>(stats.errors)));
+  doc.Set("cache_eligible", bench::Json::MakeNumber(
+                                static_cast<double>(stats.cache_eligible)));
+  doc.Set("cache_hits", bench::Json::MakeNumber(
+                            static_cast<double>(stats.cache_hits)));
+  doc.Set("cache_misses", bench::Json::MakeNumber(
+                              static_cast<double>(stats.cache_misses)));
+  doc.Set("cache_evictions", bench::Json::MakeNumber(
+                                 static_cast<double>(stats.cache_evictions)));
+  doc.Set("cache_hit_rate", bench::Json::MakeNumber(stats.cache_hit_rate));
+  doc.Set("qps", bench::Json::MakeNumber(stats.qps));
+  doc.Set("mean_ms", bench::Json::MakeNumber(stats.mean_ms));
+  doc.Set("p50_ms", bench::Json::MakeNumber(stats.p50_ms));
+  doc.Set("p90_ms", bench::Json::MakeNumber(stats.p90_ms));
+  doc.Set("p99_ms", bench::Json::MakeNumber(stats.p99_ms));
+  doc.Set("min_ms", bench::Json::MakeNumber(stats.min_ms));
+  doc.Set("max_ms", bench::Json::MakeNumber(stats.max_ms));
+  bench::Json stages = bench::Json::MakeArray();
+  for (const auto& st : stats.stages) {
+    bench::Json row = bench::Json::MakeObject();
+    row.Set("stage", bench::Json::MakeString(st.stage));
+    row.Set("count",
+            bench::Json::MakeNumber(static_cast<double>(st.count)));
+    row.Set("p50_ms", bench::Json::MakeNumber(st.p50_ms));
+    row.Set("mean_ms", bench::Json::MakeNumber(st.mean_ms));
+    row.Set("total_ms", bench::Json::MakeNumber(st.total_ms));
+    stages.Append(std::move(row));
+  }
+  doc.Set("stages", std::move(stages));
+  return doc;
 }
 
 }  // namespace serve

@@ -38,14 +38,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/json.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "cs/searcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/context_cache.h"
 
 namespace cgnp {
@@ -81,6 +85,26 @@ struct SearchResponse {
   float threshold = 0.5f;
   double latency_ms = 0.0;
   bool cache_hit = false;  // context served from the cache (cgnp only)
+  // The request consulted the context cache (cgnp model path reached the
+  // lookup). Classical backends never do; this is the honest hit-rate
+  // denominator in ServerStats.
+  bool cache_eligible = false;
+  // Per-request stage-timing tree (pre-order; depth 0 = top-level stage:
+  // task_build / encode / decode for the cgnp path, search for registry
+  // backends). Cache hits have no "encode" stage -- the paper's
+  // Algorithm 2 asymmetry, visible per response. Empty when the obs layer
+  // is disabled (compile-time CGNP_OBS=OFF or runtime obs::SetEnabled).
+  std::vector<obs::StageTiming> stages;
+};
+
+// Per-stage latency summary over the serving window, aggregated from the
+// depth-0 spans of every traced request.
+struct StageStats {
+  std::string stage;
+  uint64_t count = 0;
+  double p50_ms = 0.0;
+  double mean_ms = 0.0;
+  double total_ms = 0.0;
 };
 
 struct ServerStats {
@@ -88,16 +112,32 @@ struct ServerStats {
                         // per-request thresholds travel in SearchResponse)
   uint64_t requests = 0;
   uint64_t errors = 0;     // requests answered with a non-OK status
+  // Cache effectiveness over CACHE-ELIGIBLE requests only (cgnp model
+  // path; classical backends never consult the cache and do not dilute
+  // the rate): hit_rate = hits / eligible, misses = eligible - hits.
+  uint64_t cache_eligible = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
-  double cache_hit_rate = 0.0;  // hits / requests
+  uint64_t cache_evictions = 0;  // capacity displacements this window
+  double cache_hit_rate = 0.0;   // hits / eligible (0 when none eligible)
   double qps = 0.0;             // requests / wall-time over the serving window
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
+  // Running extremes over the WHOLE window, tracked independently of the
+  // bounded percentile reservoir -- the true max cannot be rotated out by
+  // reservoir wraparound.
+  double min_ms = 0.0;
   double max_ms = 0.0;
+  // Per-stage breakdown (task_build / encode / decode / search), sorted
+  // by stage name. Empty when the obs layer is off.
+  std::vector<StageStats> stages;
 };
+
+// JSON rendering of a stats window (the same Json value type the bench
+// reports use); tools/obs_dump --format=stats prints it.
+bench::Json ServerStatsToJson(const ServerStats& stats);
 
 struct ServeOptions {
   // Backend registry name (cs/searcher.h). "cgnp" serves the engine passed
@@ -118,6 +158,10 @@ struct ServeOptions {
   // Seed for the deterministic BFS task sampling; use the engine's seed to
   // make server responses identical to engine.Search.
   uint64_t seed = 7;
+  // Size of the bounded latency reservoir behind the Stats() percentiles
+  // (most recent N requests). Counters and min/max always cover the whole
+  // window regardless.
+  int64_t latency_reservoir = 16384;
 };
 
 class QueryServer {
@@ -171,6 +215,9 @@ class QueryServer {
   // The backend dispatch: fills members/probs/cache_hit, returns the
   // request outcome.
   Status AnswerRequest(const SearchRequest& request, SearchResponse* resp);
+  // Folds one request's depth-0 spans into the per-server stage
+  // histograms (and the global per-backend/per-stage registry metrics).
+  void RecordStages(const std::vector<obs::StageTiming>& stages);
 
   // Exactly one of model_ / backend_ drives AnswerRequest: model_ for the
   // cached cgnp pipeline, backend_ for registry backends.
@@ -183,20 +230,52 @@ class QueryServer {
   ContextCache cache_;
   ThreadPool pool_;
 
+  // Process-wide per-backend metrics (labelled {backend=...} in the
+  // default registry); resolved once at construction, sharded/lock-free
+  // to bump. Null only when a registry lookup is impossible.
+  struct BackendMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
+  BackendMetrics metrics_;
+
   // Serving-window stats; guarded by stats_mu_. Latency samples live in a
-  // bounded ring (most recent kMaxLatencySamples requests) so a
-  // long-lived server's memory and Stats() cost stay constant; request /
-  // hit counters cover the whole window.
-  static constexpr size_t kMaxLatencySamples = 16384;
+  // bounded ring (most recent `options_.latency_reservoir` requests) so a
+  // long-lived server's memory and Stats() cost stay constant; counters
+  // and the min/max extremes cover the whole window.
+  const size_t latency_reservoir_;
   mutable std::mutex stats_mu_;
   std::vector<double> latencies_ms_;  // ring once full
   size_t latency_next_ = 0;           // ring write position
   uint64_t stat_requests_ = 0;
   uint64_t stat_errors_ = 0;
   uint64_t stat_cache_hits_ = 0;
+  uint64_t stat_cache_eligible_ = 0;
+  double stat_min_ms_ = 0.0;  // valid iff stat_requests_ > 0
+  double stat_max_ms_ = 0.0;
+  // Eviction count at the last ResetStats; ServerStats windows the
+  // cache's lifetime counter against it.
+  uint64_t cache_evictions_at_reset_ = 0;
   std::chrono::steady_clock::time_point window_start_{};
   std::chrono::steady_clock::time_point window_end_{};
   bool window_open_ = false;
+  // Per-server per-stage accumulators for the window, keyed by stage
+  // name; guarded by stats_mu_ alongside the counters above. Samples are
+  // a bounded ring like latencies_ms_; count/total cover the window.
+  struct StageAccum {
+    uint64_t count = 0;
+    double total_ms = 0.0;
+    std::vector<double> samples;  // ring once full
+    size_t next = 0;
+    // Global cgnp_serve_stage_ms{backend,stage} histogram, resolved on
+    // first sighting of the stage so steady state never hits the
+    // registry mutex.
+    obs::Histogram* global = nullptr;
+  };
+  std::map<std::string, StageAccum> stage_accums_;
 };
 
 }  // namespace serve

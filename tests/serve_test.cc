@@ -238,13 +238,22 @@ TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
   // Concurrent first-time requests may race to encode the same context, so
   // hits can land anywhere in [6, 9] -- but misses never exceed 2x distinct.
   EXPECT_GE(stats.cache_hits, 6u);
+  // Every cgnp request consults the cache, so the hit-rate denominator is
+  // the full batch here.
+  EXPECT_EQ(stats.cache_eligible, batch.size());
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate,
+                   static_cast<double>(stats.cache_hits) /
+                       static_cast<double>(stats.cache_eligible));
   EXPECT_GT(stats.qps, 0.0);
   EXPECT_GT(stats.p50_ms, 0.0);
   EXPECT_GE(stats.p99_ms, stats.p50_ms);
   EXPECT_GE(stats.max_ms, stats.p99_ms);
+  EXPECT_GT(stats.min_ms, 0.0);
+  EXPECT_LE(stats.min_ms, stats.p50_ms);
 
   server.ResetStats();
   EXPECT_EQ(server.Stats().requests, 0u);
+  EXPECT_DOUBLE_EQ(server.Stats().min_ms, 0.0);
 }
 
 // --- Backend selection by registry name ------------------------------------
