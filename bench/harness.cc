@@ -71,7 +71,14 @@ BenchOptions ParseOptions(int argc, char** argv, const std::string& suite) {
     const std::string arg = argv[i];
     if (arg == "--scale=paper") {
       opt.paper_scale = true;
+      opt.xl_scale = false;
     } else if (arg == "--scale=small") {
+      opt.paper_scale = false;
+      opt.xl_scale = false;
+    } else if (arg == "--scale=xl") {
+      // Storage-tier sweep; roster hyper-parameters stay at the small
+      // preset (the xl mode does not meta-train).
+      opt.xl_scale = true;
       opt.paper_scale = false;
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
@@ -97,7 +104,7 @@ BenchOptions ParseOptions(int argc, char** argv, const std::string& suite) {
       }
     } else {
       std::fprintf(stderr,
-                   "unknown flag: %s\nusage: %s [--scale=small|paper] "
+                   "unknown flag: %s\nusage: %s [--scale=small|paper|xl] "
                    "[--seed=N] [--threads=N] [--datasets=a,b,...] "
                    "[--repeats=N] [--warmup=N] [--json=path|off] "
                    "[--csv=path]\n",

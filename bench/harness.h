@@ -1,8 +1,9 @@
 // Shared benchmark harness: scale presets, method roster, centralised
 // timing, paper-style table printing, and the canonical JSON report spine
 // (src/bench/report.h). Every bench binary accepts:
-//   --scale=small|paper   (default small: CPU-sized; paper: Section VII-A
-//                          parameters -- expect hours on CPU)
+//   --scale=small|paper|xl (default small: CPU-sized; paper: Section VII-A
+//                          parameters -- expect hours on CPU; xl: the
+//                          10^6-node storage sweep, fig4 only)
 //   --seed=N              (default 1)
 //   --threads=N           (default 1: serial kernels, comparable with
 //                          historical runs; N>1 enables intra-op
@@ -34,6 +35,10 @@ namespace bench {
 struct BenchOptions {
   std::string suite;  // report suite name, set by ParseOptions
   bool paper_scale = false;
+  // --scale=xl: the storage-tier sweep (10^6-node graphs through the
+  // binary container; bench_fig4_scalability). Mutually exclusive with
+  // paper_scale; suites without an xl mode treat it as small.
+  bool xl_scale = false;
   uint64_t seed = 1;
   // Intra-op kernel threads (set_num_threads); 1 keeps timings comparable
   // with serial-era runs. ParseOptions applies it.
@@ -65,7 +70,10 @@ struct BenchOptions {
   MethodConfig method;
   CgnpConfig cgnp;
 
-  std::string scale_name() const { return paper_scale ? "paper" : "small"; }
+  std::string scale_name() const {
+    if (xl_scale) return "xl";
+    return paper_scale ? "paper" : "small";
+  }
 };
 
 // Parses argv; exits with a usage message on unknown flags. `suite` names

@@ -63,6 +63,14 @@ class [[nodiscard]] Status {
   // "OK" or "INVALID_ARGUMENT: query node 812 out of range [0, 500)".
   std::string ToString() const;
 
+  // Same code with ` [context]` appended to the message (OK stays OK
+  // untouched) -- for layering call-site detail, e.g. a file path, onto a
+  // format-level error without re-threading it through every helper.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, message_ + " [" + context + "]");
+  }
+
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
   }

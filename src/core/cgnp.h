@@ -41,6 +41,15 @@ namespace cgnp {
 // grad-mode queries stay on the thread that called the op -- and a kernel
 // issued from inside another parallel region runs inline, so the server's
 // inter-query pool composes safely with ParallelFor.
+//
+// Storage backing (graph/format.h) does not weaken it either: a mapped
+// *parent* graph is only ever read through its CSR/feature spans on the
+// query path -- BuildQueryTask materialises each per-request task subgraph
+// as a fresh vector-backed Graph via InducedSubgraph, so the mutable
+// lazily-built adjacency caches (clause (d)) live on those private task
+// graphs, never on the shared read-only mapping. Serving straight from an
+// mmap'd container (serve::OpenMappedGraph) is therefore safe at any
+// thread count.
 class CgnpModel : public Module {
  public:
   CgnpModel(const CgnpConfig& cfg, int64_t feature_dim, Rng* rng);

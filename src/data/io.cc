@@ -1,10 +1,40 @@
 #include "data/io.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 
+#include "graph/format.h"
+
 namespace cgnp {
+
+bool IsBinaryGraphFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char bytes[sizeof(uint32_t)];
+  in.read(bytes, sizeof(bytes));
+  if (!in.good()) return false;
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes, sizeof(magic));
+  return magic == kGraphFileMagic;
+}
+
+StatusOr<Graph> LoadGraphAuto(const std::string& path,
+                              const LoadOptions& options,
+                              const std::string& community_path,
+                              const std::string& attribute_path) {
+  if (IsBinaryGraphFile(path)) {
+    if (!community_path.empty() || !attribute_path.empty()) {
+      return InvalidArgumentError(
+          "binary graph containers carry communities/attributes inline; "
+          "side files apply to text edge lists only: " +
+          path);
+    }
+    return options.mapped ? MapGraphBinary(path) : LoadGraphBinary(path);
+  }
+  return LoadGraphFromFiles(path, community_path, attribute_path);
+}
 
 StatusOr<Graph> LoadGraphFromFiles(const std::string& edge_path,
                                    const std::string& community_path,

@@ -36,6 +36,25 @@ Status SaveGraphToFiles(const Graph& g, const std::string& edge_path,
                         const std::string& community_path = "",
                         const std::string& attribute_path = "");
 
+// True when `path` starts with the binary graph-container magic
+// (graph/format.h); false for text datasets, missing and short files.
+bool IsBinaryGraphFile(const std::string& path);
+
+// Format-sniffing loader: binary containers (docs/GRAPH_FORMAT.md) load
+// through LoadGraphBinary or -- when `mapped` -- MapGraphBinary; anything
+// else is treated as a text edge list (side files apply to text input
+// only; passing them alongside a binary container is InvalidArgument --
+// the container already carries communities and attributes).
+struct LoadOptions {
+  // Back the returned Graph with a read-only mmap of the file instead of
+  // heap vectors (binary containers only; text input always materialises).
+  bool mapped = false;
+};
+StatusOr<Graph> LoadGraphAuto(const std::string& path,
+                              const LoadOptions& options = {},
+                              const std::string& community_path = "",
+                              const std::string& attribute_path = "");
+
 }  // namespace cgnp
 
 #endif  // CGNP_DATA_IO_H_

@@ -68,7 +68,8 @@ Graph AttachTaskFeatures(const Graph& sub, int64_t attribute_dim) {
     b.SetAttributes(std::move(attrs));
   }
   if (sub.has_communities()) {
-    b.SetCommunities(sub.communities());
+    const auto comm = sub.communities();
+    b.SetCommunities({comm.begin(), comm.end()});
   }
   b.SetFeatures(dim, std::move(feats));
   return b.Build();

@@ -16,7 +16,9 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 
 Tensor Graph::FeatureTensor() const {
   CGNP_CHECK(has_features());
-  return Tensor::FromVector({num_nodes_, feature_dim_}, features_);
+  const auto f = features();
+  return Tensor::FromVector({num_nodes_, feature_dim_},
+                            std::vector<float>(f.begin(), f.end()));
 }
 
 const std::vector<int32_t>& Graph::Attributes(NodeId v) const {
@@ -27,14 +29,15 @@ const std::vector<int32_t>& Graph::Attributes(NodeId v) const {
 
 int64_t Graph::num_communities() const {
   int64_t mx = -1;
-  for (int64_t c : community_) mx = std::max(mx, c);
+  for (int64_t c : communities()) mx = std::max(mx, c);
   return mx + 1;
 }
 
 std::vector<NodeId> Graph::CommunityMembers(int64_t c) const {
+  const auto comm = communities();
   std::vector<NodeId> out;
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    if (community_[v] == c) out.push_back(v);
+    if (comm[v] == c) out.push_back(v);
   }
   return out;
 }
@@ -86,8 +89,8 @@ const SparseMatrix& Graph::GcnAdjacency() const {
 const SparseMatrix& Graph::MeanAdjacency() const {
   if (mean_adj_built_) return mean_adj_;
   const int64_t n = num_nodes_;
-  std::vector<int64_t> rp(row_ptr_);
-  std::vector<int64_t> ci(col_idx_.begin(), col_idx_.end());
+  std::vector<int64_t> rp(row_ptr().begin(), row_ptr().end());
+  std::vector<int64_t> ci(col_idx().begin(), col_idx().end());
   std::vector<float> vals(ci.size());
   ParallelFor(0, n, /*grain=*/512, [&](int64_t lo, int64_t hi) {
     for (NodeId v = lo; v < hi; ++v) {

@@ -14,10 +14,22 @@
 // Construction goes through GraphBuilder, which deduplicates edges and
 // canonicalises the CSR ordering (sorted neighbor lists), so algorithms can
 // rely on sorted adjacency for O(deg) set intersections.
+//
+// Storage backing. A Graph is a *view over storage*: the CSR arrays (and
+// the dense feature / community arrays) are exposed as spans which are
+// backed either by owned heap vectors (GraphBuilder::Build, the loaders'
+// copying path) or by a read-only memory-mapped graph container
+// (graph/format.h, MapGraphBinary) -- million-node graphs then load in
+// O(pages touched) without materialising vectors. Both backings satisfy
+// the same invariants (the binary loader validates them before handing a
+// Graph out) and every algorithm in the library runs on either. Copies of
+// a mapped Graph share one mapping via shared_ptr; the pages unmap when
+// the last copy dies.
 #ifndef CGNP_GRAPH_GRAPH_H_
 #define CGNP_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,31 +40,62 @@ namespace cgnp {
 
 using NodeId = int64_t;
 
+class MappedFile;  // graph/storage.h; held only behind shared_ptr here
+
+// Which storage backs a Graph's CSR spans.
+enum class GraphBacking {
+  kVector,  // owned heap vectors (GraphBuilder, copying loaders)
+  kMapped,  // read-only mmap of a binary graph container (format.h)
+};
+
 class Graph {
  public:
   Graph() = default;
 
   int64_t num_nodes() const { return num_nodes_; }
   // Number of undirected edges.
-  int64_t num_edges() const { return static_cast<int64_t>(col_idx_.size()) / 2; }
+  int64_t num_edges() const { return static_cast<int64_t>(col_idx().size()) / 2; }
 
-  int64_t Degree(NodeId v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+  int64_t Degree(NodeId v) const {
+    const auto rp = row_ptr();
+    return rp[v + 1] - rp[v];
+  }
   // Sorted neighbor list of v.
   std::span<const NodeId> Neighbors(NodeId v) const {
-    return {col_idx_.data() + row_ptr_[v],
-            static_cast<size_t>(row_ptr_[v + 1] - row_ptr_[v])};
+    const auto rp = row_ptr();
+    return col_idx().subspan(rp[v], static_cast<size_t>(rp[v + 1] - rp[v]));
   }
   bool HasEdge(NodeId u, NodeId v) const;
 
-  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<NodeId>& col_idx() const { return col_idx_; }
+  // CSR arrays of the current backing. Valid as long as this Graph (or any
+  // copy of it) is alive; for mapped graphs they point straight into the
+  // file's pages.
+  std::span<const int64_t> row_ptr() const {
+    return mapping_ ? row_ptr_view_ : std::span<const int64_t>(row_ptr_);
+  }
+  std::span<const NodeId> col_idx() const {
+    return mapping_ ? col_idx_view_ : std::span<const NodeId>(col_idx_);
+  }
+
+  // --- Storage backing ------------------------------------------------------
+  GraphBacking backing() const {
+    return mapping_ ? GraphBacking::kMapped : GraphBacking::kVector;
+  }
+  // Stable identity of the backing container for mapped graphs: an FNV-1a
+  // fold of the file header and every section checksum (graph/format.h),
+  // identical across processes mapping the same file -- a ready-made
+  // SearchRequest::graph_id for the serving context cache. 0 for
+  // vector-backed graphs (they have no durable identity).
+  uint64_t storage_fingerprint() const { return storage_fingerprint_; }
 
   // --- Dense features -------------------------------------------------------
   bool has_features() const { return feature_dim_ > 0; }
   int64_t feature_dim() const { return feature_dim_; }
   // Feature matrix as a (non-differentiable) {n, d} tensor.
   Tensor FeatureTensor() const;
-  const std::vector<float>& features() const { return features_; }
+  std::span<const float> features() const {
+    return mapping_ ? features_view_ : std::span<const float>(features_);
+  }
 
   // --- Discrete attributes (for ACQ / ATC) ----------------------------------
   bool has_attributes() const { return !attrs_.empty(); }
@@ -60,10 +103,12 @@ class Graph {
   const std::vector<int32_t>& Attributes(NodeId v) const;
 
   // --- Ground-truth communities ---------------------------------------------
-  bool has_communities() const { return !community_.empty(); }
+  bool has_communities() const { return !communities().empty(); }
   // Community id of v, or -1 when unlabelled.
-  int64_t CommunityOf(NodeId v) const { return community_[v]; }
-  const std::vector<int64_t>& communities() const { return community_; }
+  int64_t CommunityOf(NodeId v) const { return communities()[v]; }
+  std::span<const int64_t> communities() const {
+    return mapping_ ? community_view_ : std::span<const int64_t>(community_);
+  }
   int64_t num_communities() const;
   // All members of community c.
   std::vector<NodeId> CommunityMembers(int64_t c) const;
@@ -86,6 +131,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  // Binary container load paths (graph/format.cc): the only code that may
+  // hand out mapped-backed Graphs, after full validation of the file.
+  friend class GraphFormatAccess;
 
   int64_t num_nodes_ = 0;
   std::vector<int64_t> row_ptr_{0};
@@ -96,6 +144,18 @@ class Graph {
   std::vector<std::vector<int32_t>> attrs_;
   std::vector<int64_t> community_;
 
+  // Mapped backing: when mapping_ is set, the *_view_ spans point into the
+  // mapping and the owned vectors above stay empty (attrs_ excepted -- the
+  // ragged attribute sets are materialised on load either way). The views
+  // reference the file's pages, not this object, so Graph copies stay
+  // valid and cheap (they bump the mapping's refcount).
+  std::shared_ptr<const MappedFile> mapping_;
+  std::span<const int64_t> row_ptr_view_;
+  std::span<const NodeId> col_idx_view_;
+  std::span<const float> features_view_;
+  std::span<const int64_t> community_view_;
+  uint64_t storage_fingerprint_ = 0;
+
   // Lazily built, cached adjacency views.
   mutable SparseMatrix gcn_adj_;
   mutable bool gcn_adj_built_ = false;
@@ -105,11 +165,22 @@ class Graph {
   mutable bool attn_edges_built_ = false;
 };
 
+// Assembles a canonical CSR Graph from an edge soup. Edge semantics are an
+// explicit contract (tests/graph_test.cc pins them):
+//   * AddEdge(u, v) records one undirected edge; orientation is
+//     irrelevant (AddEdge(u, v) and AddEdge(v, u) are the same edge).
+//   * Self loops (u == v) are silently dropped at Build.
+//   * Duplicate edges -- same pair added any number of times, in either
+//     orientation -- collapse to a single undirected edge at Build.
+//   * Node ids outside [0, num_nodes) are a programmer error (CGNP_CHECK
+//     aborts; external input must be range-checked before AddEdge -- the
+//     data loaders do).
 class GraphBuilder {
  public:
   explicit GraphBuilder(int64_t num_nodes);
 
-  // Adds an undirected edge; self loops and duplicates are dropped at Build.
+  // Adds an undirected edge; self loops and duplicates are dropped at Build
+  // (see the class contract above).
   void AddEdge(NodeId u, NodeId v);
 
   // Dense feature matrix, row-major num_nodes x dim.
@@ -135,6 +206,8 @@ class GraphBuilder {
 // Induced subgraph on `nodes` (order defines new ids). Features, attributes
 // and community labels are carried over. If `new_of_old` is non-null it
 // receives a num_nodes-sized map old-id -> new-id (-1 when dropped).
+// Always returns a vector-backed Graph, whatever backs `g` -- task
+// subgraphs stay small and owned even when the parent graph is mapped.
 Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes,
                       std::vector<NodeId>* new_of_old = nullptr);
 

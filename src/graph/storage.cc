@@ -1,0 +1,53 @@
+#include "graph/storage.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cgnp {
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError("cannot open graph file: " + path + " (" +
+                         std::strerror(errno) + ")");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError("fstat failed on graph file: " + path + " (" +
+                         std::strerror(err) + ")");
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return DataLossError("empty graph file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the pages; the descriptor is
+  // not needed past this point either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return InternalError("mmap failed on graph file: " + path + " (" +
+                         std::strerror(errno) + ")");
+  }
+  MappedFile f;
+  f.data_ = static_cast<uint8_t*>(addr);
+  f.size_ = size;
+  return f;
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace cgnp

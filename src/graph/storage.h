@@ -1,0 +1,76 @@
+// Read-only file mapping and checksum primitives for the on-disk graph
+// container (graph/format.h).
+//
+// MappedFile wraps open+fstat+mmap with the library's Status error model:
+// a missing file is NotFound, an empty or unmappable one is DataLoss /
+// Internal -- never an abort. The mapping is PROT_READ/MAP_PRIVATE, so a
+// mapped graph can never write back to the file, and the descriptor is
+// closed right after mmap (the mapping keeps the pages alive on its own).
+// Graph holds a shared_ptr<const MappedFile>, so copies of a mapped Graph
+// share one mapping and the pages unmap exactly when the last view dies.
+#ifndef CGNP_GRAPH_STORAGE_H_
+#define CGNP_GRAPH_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cgnp {
+
+// 64-bit FNV-1a: the per-section checksum of the graph container. Not
+// cryptographic -- it catches truncation, bit rot and byte surgery, which
+// is the corruption model the format defends against.
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ull;
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t seed = kFnv1aOffset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+// An immutable, whole-file, read-only memory mapping.
+class MappedFile {
+ public:
+  // Maps `path` read-only. NotFound when the file cannot be opened,
+  // DataLoss when it is empty (a valid container is never zero bytes),
+  // Internal when the kernel refuses the mapping.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+  MappedFile(MappedFile&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void Reset();
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_GRAPH_STORAGE_H_

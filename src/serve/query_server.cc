@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "graph/format.h"
 #include "obs/log.h"
 #include "tensor/ops.h"
 
@@ -42,6 +43,16 @@ ServeOptions FromEngineOptions(const CommunitySearchEngine& engine,
 }
 
 }  // namespace
+
+StatusOr<std::shared_ptr<const Graph>> OpenMappedGraph(
+    const std::string& path) {
+  CGNP_ASSIGN_OR_RETURN(Graph g, MapGraphBinary(path));
+  CGNP_LOG(kInfo, "serve_graph_mapped")
+      .Str("path", path)
+      .Num("num_nodes", static_cast<double>(g.num_nodes()))
+      .Num("num_edges", static_cast<double>(g.num_edges()));
+  return std::make_shared<const Graph>(std::move(g));
+}
 
 QueryServer::QueryServer(const CgnpModel* model,
                          std::unique_ptr<CommunitySearcher> backend,

@@ -60,6 +60,8 @@ namespace serve {
 // to distinct graphs -- entries never collide across ids).
 struct SearchRequest {
   const Graph* graph = nullptr;
+  // Namespaces the context cache. For graphs opened with OpenMappedGraph,
+  // Graph::storage_fingerprint() is a ready-made, process-stable value.
   uint64_t graph_id = 0;
   NodeId query = -1;
   // Labelled support observations in `graph`'s node ids; empty = the
@@ -163,6 +165,19 @@ struct ServeOptions {
   // window regardless.
   int64_t latency_reservoir = 16384;
 };
+
+// Opens a binary graph container (docs/GRAPH_FORMAT.md) for serving: the
+// returned Graph is backed by a read-only mmap of the file -- million-node
+// graphs become servable in O(pages touched), no vectors materialised --
+// and shared ownership lets it outlive the opening scope while requests
+// are in flight (SearchRequest::graph must stay alive until the response
+// returns). Use graph->storage_fingerprint() as the request graph_id so
+// cache entries stay stable across server restarts on the same file.
+// Errors follow the container's model: NotFound for a missing file,
+// DataLoss for a corrupt one -- a serving process rejects the file and
+// keeps running.
+StatusOr<std::shared_ptr<const Graph>> OpenMappedGraph(
+    const std::string& path);
 
 class QueryServer {
  public:

@@ -8,6 +8,7 @@
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
 #include "tensor/io.h"
+#include "tests/test_util.h"
 
 namespace cgnp {
 namespace {
@@ -232,13 +233,8 @@ TEST(CheckpointError, VersionMismatchReturnsDataLoss) {
   const std::string path = TempPath("future_version.ckpt");
   ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
   // Bump the stored version field (bytes 4..7) to an unsupported value.
-  {
-    std::fstream f(path,
-                   std::ios::binary | std::ios::in | std::ios::out);
-    f.seekp(4);
-    const uint32_t future = 9999;
-    f.write(reinterpret_cast<const char*>(&future), sizeof(future));
-  }
+  testing::WriteFile(path, testing::WithPatch<uint32_t>(
+                               testing::ReadFileOrDie(path), 4, 9999));
   const auto restored = CommunitySearchEngine::LoadCheckpoint(path);
   std::remove(path.c_str());
   ASSERT_FALSE(restored.ok());
@@ -261,13 +257,7 @@ TEST(CheckpointError, TruncatedTrainedEngineReturnsDataLossAtEveryCut) {
   ASSERT_TRUE(engine.Fit(g).ok());
   const std::string path = TempPath("full_engine.ckpt");
   ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
-  std::string bytes;
-  {
-    std::ifstream in(path, std::ios::binary);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    bytes = buf.str();
-  }
+  const std::string bytes = testing::ReadFileOrDie(path);
   std::remove(path.c_str());
   ASSERT_GT(bytes.size(), 128u);
   // Cut the file in the framing header, the engine options, and deep in
@@ -275,10 +265,7 @@ TEST(CheckpointError, TruncatedTrainedEngineReturnsDataLossAtEveryCut) {
   const std::string cut_path = TempPath("truncated_engine.ckpt");
   for (const size_t keep :
        {size_t{6}, size_t{40}, bytes.size() / 2, bytes.size() - 3}) {
-    {
-      std::ofstream out(cut_path, std::ios::binary);
-      out.write(bytes.data(), static_cast<std::streamsize>(keep));
-    }
+    testing::WriteFile(cut_path, testing::WithTruncation(bytes, keep));
     const auto restored = CommunitySearchEngine::LoadCheckpoint(cut_path);
     ASSERT_FALSE(restored.ok()) << "truncation at " << keep << " loaded";
     EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss)

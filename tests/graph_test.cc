@@ -26,6 +26,41 @@ TEST(GraphBuilder, DedupesAndDropsSelfLoops) {
   EXPECT_FALSE(g.HasEdge(0, 3));
 }
 
+TEST(GraphBuilder, DuplicatesCollapseAtAnyMultiplicityAndOrientation) {
+  // The class contract: duplicates -- same pair added any number of
+  // times, in either orientation -- collapse to ONE undirected edge, and
+  // self loops vanish silently, whatever they are mixed with.
+  GraphBuilder b(3);
+  for (int i = 0; i < 10; ++i) b.AddEdge(0, 1);
+  for (int i = 0; i < 7; ++i) b.AddEdge(1, 0);
+  b.AddEdge(2, 1);
+  b.AddEdge(1, 2);
+  for (int i = 0; i < 5; ++i) b.AddEdge(1, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(std::ranges::equal(g.row_ptr(),
+                                 std::vector<int64_t>{0, 1, 3, 4}));
+  EXPECT_TRUE(std::ranges::equal(g.col_idx(),
+                                 std::vector<NodeId>{1, 0, 2, 1}));
+}
+
+TEST(GraphBuilder, SelfLoopOnlyNodeEndsUpIsolated) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 2);  // node 2's only "edge" is a self loop
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.Degree(2), 0);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(GraphBuilder, BuildsVectorBackedGraphWithoutStorageIdentity) {
+  Graph g = testing::TwoCliqueGraph();
+  EXPECT_EQ(g.backing(), GraphBacking::kVector);
+  // Only graphs loaded from a binary container carry a fingerprint.
+  EXPECT_EQ(g.storage_fingerprint(), 0u);
+}
+
 TEST(GraphBuilder, NeighborsAreSorted) {
   GraphBuilder b(5);
   b.AddEdge(2, 4);

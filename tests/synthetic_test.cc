@@ -154,8 +154,8 @@ TEST(Synthetic, DeterministicGivenSeed) {
   Rng a(99), b(99);
   Graph ga = GenerateSyntheticGraph(cfg, &a);
   Graph gb = GenerateSyntheticGraph(cfg, &b);
-  EXPECT_EQ(ga.col_idx(), gb.col_idx());
-  EXPECT_EQ(ga.communities(), gb.communities());
+  EXPECT_TRUE(std::ranges::equal(ga.col_idx(), gb.col_idx()));
+  EXPECT_TRUE(std::ranges::equal(ga.communities(), gb.communities()));
   for (NodeId v = 0; v < ga.num_nodes(); ++v) {
     EXPECT_EQ(ga.Attributes(v), gb.Attributes(v));
   }

@@ -1,10 +1,16 @@
-// Shared test helpers: finite-difference gradient checking and small graph
-// fixtures.
+// Shared test helpers: finite-difference gradient checking, small graph
+// fixtures, and byte-surgery utilities for on-disk corruption tests.
 #ifndef CGNP_TESTS_TEST_UTIL_H_
 #define CGNP_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
@@ -72,6 +78,63 @@ inline Graph TwoCliqueGraph() {
   b.AddEdge(3, 4);
   b.SetCommunities({0, 0, 0, 0, 1, 1, 1, 1});
   return b.Build();
+}
+
+// ---- Byte surgery for on-disk format corruption tests --------------------
+//
+// The checkpoint and graph-container test batteries share one discipline:
+// write a good file once, then derive corrupted variants as byte strings
+// and assert every variant loads to a clean non-OK Status. These helpers
+// keep that surgery in one place.
+
+// Slurps a file; fails the test (via ADD_FAILURE) and returns "" when the
+// file cannot be read.
+inline std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    ADD_FAILURE() << "cannot read " << path;
+    return "";
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Writes `bytes` to `path`, replacing any previous contents.
+inline void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  ASSERT_TRUE(out.good()) << "short write to " << path;
+}
+
+// First `keep` bytes of `bytes` (a truncation-at-offset variant).
+inline std::string WithTruncation(const std::string& bytes, size_t keep) {
+  EXPECT_LE(keep, bytes.size());
+  return bytes.substr(0, std::min(keep, bytes.size()));
+}
+
+// `bytes` with the byte at `offset` XOR-flipped (guaranteed different).
+inline std::string WithByteFlipped(const std::string& bytes, size_t offset) {
+  EXPECT_LT(offset, bytes.size());
+  std::string out = bytes;
+  if (offset < out.size()) out[offset] = static_cast<char>(out[offset] ^ 0x5A);
+  return out;
+}
+
+// `bytes` with `value`'s object representation spliced in at `offset`
+// (little-endian on every supported target, matching the on-disk formats).
+template <typename T>
+inline std::string WithPatch(const std::string& bytes, size_t offset,
+                             const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  EXPECT_LE(offset + sizeof(T), bytes.size());
+  std::string out = bytes;
+  if (offset + sizeof(T) <= out.size()) {
+    std::memcpy(out.data() + offset, &value, sizeof(T));
+  }
+  return out;
 }
 
 }  // namespace testing
