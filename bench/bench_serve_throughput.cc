@@ -140,8 +140,12 @@ int main(int argc, char** argv) {
               "qps", "mean_ms", "p50_ms", "p99_ms", "hit_rate");
   for (const bool cache_on : {false, true}) {
     for (const int threads : thread_counts) {
-      QueryServer server(engine, threads,
-                         cache_on ? static_cast<int64_t>(distinct * 2) : 0);
+      serve::ServeOptions server_opt;
+      server_opt.num_threads = threads;
+      server_opt.cache_capacity =
+          cache_on ? static_cast<int64_t>(distinct * 2) : 0;
+      auto server_ptr = QueryServer::Create(&engine, server_opt).value();
+      QueryServer& server = *server_ptr;
       // Warm-up pass keeps one-time costs (thread spawn, page faults) out
       // of the measurement; it also pre-fills the cache, putting the
       // cache-on rows at their steady-state hit rate. Additional repeats
@@ -193,8 +197,11 @@ int main(int argc, char** argv) {
   // sharded counters / spans (on) or the early-out branch (off); the gap
   // is what instrumentation costs a served request.
   {
-    QueryServer server(engine, /*num_threads=*/2,
-                       static_cast<int64_t>(distinct * 2));
+    serve::ServeOptions server_opt;
+    server_opt.num_threads = 2;
+    server_opt.cache_capacity = static_cast<int64_t>(distinct * 2);
+    auto server_ptr = QueryServer::Create(&engine, server_opt).value();
+    QueryServer& server = *server_ptr;
     server.ServeBatch(
         std::vector<SearchRequest>(stream.begin(), stream.begin() + 8));
     server.ResetStats();

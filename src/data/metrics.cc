@@ -9,9 +9,15 @@ namespace {
 EvalStats FromCounts(int64_t tp, int64_t fp, int64_t tn, int64_t fn) {
   EvalStats s;
   const int64_t total = tp + fp + tn + fn;
-  s.accuracy = total > 0 ? static_cast<double>(tp + tn) / total : 0.0;
-  s.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
-  s.recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  s.accuracy = total > 0
+                   ? static_cast<double>(tp + tn) / static_cast<double>(total)
+                   : 0.0;
+  s.precision = (tp + fp) > 0 ? static_cast<double>(tp) /
+                                    static_cast<double>(tp + fp)
+                              : 0.0;
+  s.recall = (tp + fn) > 0
+                 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                 : 0.0;
   s.f1 = (s.precision + s.recall) > 0
              ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
              : 0.0;
@@ -64,10 +70,11 @@ void StatsAccumulator::Add(const EvalStats& s) {
 EvalStats StatsAccumulator::MeanStats() const {
   EvalStats s;
   if (count_ == 0) return s;
-  s.accuracy = sum_.accuracy / count_;
-  s.precision = sum_.precision / count_;
-  s.recall = sum_.recall / count_;
-  s.f1 = sum_.f1 / count_;
+  const double n = static_cast<double>(count_);
+  s.accuracy = sum_.accuracy / n;
+  s.precision = sum_.precision / n;
+  s.recall = sum_.recall / n;
+  s.f1 = sum_.f1 / n;
   return s;
 }
 

@@ -26,7 +26,8 @@ std::vector<int64_t> CommunitySizes(const SyntheticConfig& cfg) {
   int64_t assigned = 0;
   for (int64_t c = 0; c < cfg.num_communities; ++c) {
     size[c] = std::max<int64_t>(
-        2, static_cast<int64_t>(cfg.num_nodes * weight[c] / total));
+        2, static_cast<int64_t>(static_cast<double>(cfg.num_nodes) *
+                                weight[c] / total));
     assigned += size[c];
   }
   // Adjust the largest community so sizes sum to num_nodes.
@@ -77,7 +78,7 @@ Graph GenerateSyntheticGraph(const SyntheticConfig& cfg, Rng* rng) {
     if (pool.size() < 2) continue;
     const double want = cfg.intra_degree * mult[v] / 2.0;
     int64_t count = static_cast<int64_t>(want);
-    if (rng->NextDouble() < want - count) ++count;
+    if (rng->NextDouble() < want - static_cast<double>(count)) ++count;
     for (int64_t i = 0; i < count; ++i) {
       const NodeId u = pool[rng->NextInt(static_cast<int64_t>(pool.size()))];
       if (u != v) builder.AddEdge(v, u);
@@ -88,7 +89,7 @@ Graph GenerateSyntheticGraph(const SyntheticConfig& cfg, Rng* rng) {
   for (NodeId v = 0; v < cfg.num_nodes; ++v) {
     const double want = cfg.inter_degree * mult[v] / 2.0;
     int64_t count = static_cast<int64_t>(want);
-    if (rng->NextDouble() < want - count) ++count;
+    if (rng->NextDouble() < want - static_cast<double>(count)) ++count;
     for (int64_t i = 0; i < count; ++i) {
       const NodeId u = rng->NextInt(cfg.num_nodes);
       if (u != v && community[u] != community[v]) builder.AddEdge(v, u);

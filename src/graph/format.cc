@@ -452,6 +452,18 @@ StatusOr<Graph> LoadGraphBinary(const std::string& path) {
   return GraphFormatAccess::CopyBacked(parsed);
 }
 
+StatusOr<Graph> LoadGraphBinaryFromBytes(const void* data, size_t size) {
+  // Copy into a uint64_t buffer: ParseGraphFile requires 8-byte alignment
+  // and the caller's bytes may sit anywhere.
+  std::vector<uint64_t> buf((size + sizeof(uint64_t) - 1) / sizeof(uint64_t));
+  if (size > 0) std::memcpy(buf.data(), data, size);
+  ParsedGraphFile parsed;
+  CGNP_RETURN_IF_ERROR(
+      ParseGraphFile(reinterpret_cast<const uint8_t*>(buf.data()), size,
+                     /*verify_checksums=*/true, &parsed));
+  return GraphFormatAccess::CopyBacked(parsed);
+}
+
 StatusOr<Graph> MapGraphBinary(const std::string& path,
                                const MapOptions& options) {
   CGNP_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));

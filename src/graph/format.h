@@ -90,6 +90,12 @@ Status SaveGraphBinary(const Graph& g, const std::string& path);
 // Copying load: full validation, then owned vectors (kVector backing).
 StatusOr<Graph> LoadGraphBinary(const std::string& path);
 
+// Copying load from an in-memory container image (any alignment; the
+// bytes are copied into an aligned buffer first). Same validation
+// pipeline as the file loads -- this is the entry the format fuzzer
+// drives, and it serves callers that already hold the file in memory.
+StatusOr<Graph> LoadGraphBinaryFromBytes(const void* data, size_t size);
+
 struct MapOptions {
   // Verify every section's FNV-1a64 checksum at map time. The default
   // catches silent corruption up front at the cost of one sequential read

@@ -52,6 +52,11 @@ MinCutResult GlobalMinCut(const Graph& g) {
           pick = v;
         }
       }
+      // `active` always has a node outside the set while step < active
+      // size, but the compiler cannot prove it (-Wstringop-overflow flags
+      // the in_set[-1] write otherwise) -- and an OOB write is the failure
+      // mode if the invariant ever broke.
+      CGNP_CHECK_GE(pick, 0);
       in_set[pick] = 1;
       prev = last;
       last = pick;

@@ -25,23 +25,6 @@ double PercentileOf(const std::vector<double>& sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-const CgnpModel* CheckedEngineModel(const CommunitySearchEngine& engine) {
-  CGNP_CHECK(engine.trained())
-      << " QueryServer needs a fitted or loaded engine";
-  return engine.model();
-}
-
-ServeOptions FromEngineOptions(const CommunitySearchEngine& engine,
-                               int num_threads, int64_t cache_capacity) {
-  ServeOptions o;
-  o.num_threads = num_threads;
-  o.cache_capacity = cache_capacity;
-  o.tasks = engine.options().tasks;
-  o.attribute_dim = engine.attribute_dim();
-  o.seed = engine.options().seed;
-  return o;
-}
-
 }  // namespace
 
 StatusOr<std::shared_ptr<const Graph>> OpenMappedGraph(
@@ -68,7 +51,10 @@ QueryServer::QueryServer(const CgnpModel* model,
       pool_(options_.num_threads),
       latency_reservoir_(static_cast<size_t>(
           std::max<int64_t>(1, options_.latency_reservoir))) {
-  CGNP_CHECK((model_ != nullptr) != (backend_ != nullptr))
+  // Private-constructor invariant: Create() is the only caller and always
+  // passes exactly one driver, so this cannot fire on user input.
+  CGNP_CHECK((model_ != nullptr) !=  // NOLINT(cgnp-no-abort): internal invariant of the private ctor; every user path goes through the validating Create()
+             (backend_ != nullptr))
       << " exactly one of model/backend must drive the server";
   // Resolve the per-backend registry metrics once; recording through the
   // cached pointers is sharded and lock-free.
@@ -84,25 +70,6 @@ QueryServer::QueryServer(const CgnpModel* model,
       .Num("num_threads", options_.num_threads)
       .Num("cache_capacity", static_cast<double>(options_.cache_capacity));
 }
-
-QueryServer::QueryServer(const CgnpModel* model, ServeOptions options)
-    : QueryServer(model, /*backend=*/nullptr, /*owned_engine=*/nullptr,
-                  [&options, model] {
-                    CGNP_CHECK(model != nullptr)
-                        << " QueryServer needs a trained model";
-                    // Concurrent const access is only safe in eval mode;
-                    // see the thread-safety contract in core/cgnp.h.
-                    CGNP_CHECK(!model->training())
-                        << " QueryServer requires an eval-mode model "
-                           "(SetTraining(false))";
-                    options.backend = "cgnp";
-                    return std::move(options);
-                  }()) {}
-
-QueryServer::QueryServer(const CommunitySearchEngine& engine, int num_threads,
-                         int64_t cache_capacity)
-    : QueryServer(CheckedEngineModel(engine),
-                  FromEngineOptions(engine, num_threads, cache_capacity)) {}
 
 StatusOr<std::unique_ptr<QueryServer>> QueryServer::Create(
     const CommunitySearchEngine* engine, ServeOptions options) {

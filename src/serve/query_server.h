@@ -27,8 +27,10 @@
 //
 // Typical use (see examples/train_and_serve.cpp):
 //   auto engine = CommunitySearchEngine::LoadCheckpoint("model.ckpt");
-//   QueryServer server(engine.value(), /*num_threads=*/8, /*cache=*/256);
-//   auto responses = server.ServeBatch(requests);
+//   serve::ServeOptions opt;
+//   opt.num_threads = 8;
+//   auto server = QueryServer::Create(&engine.value(), opt);
+//   auto responses = (*server)->ServeBatch(requests);
 // or, backend by name:
 //   serve::ServeOptions opt;
 //   opt.backend = "ktruss";
@@ -190,15 +192,6 @@ class QueryServer {
   static StatusOr<std::unique_ptr<QueryServer>> Create(
       const CommunitySearchEngine* engine, ServeOptions options);
 
-  // Direct cgnp-backend construction (precondition-checked, aborts on
-  // programmer error -- prefer Create for anything driven by user input).
-  // `model` must outlive the server, be fully trained, and be in eval
-  // mode (trainers and checkpoint loading both leave it there).
-  QueryServer(const CgnpModel* model, ServeOptions options);
-  // Convenience: serve a trained engine, inheriting its task config,
-  // attribute dimensionality and seed (response parity with Search).
-  QueryServer(const CommunitySearchEngine& engine, int num_threads,
-              int64_t cache_capacity = 256);
   ~QueryServer() = default;
 
   QueryServer(const QueryServer&) = delete;

@@ -130,6 +130,9 @@ void Tensor::Backward() {
   CGNP_CHECK_EQ(numel(), 1) << " Backward() requires a scalar output";
   // Topological order by post-order DFS over parents.
   std::vector<TensorImpl*> order;
+  // Traversal order comes from the explicit stack, never from iterating
+  // this set -- membership tests only.
+  // NOLINTNEXTLINE(cgnp-determinism): membership-only; order never observed
   std::unordered_set<TensorImpl*> visited;
   std::vector<std::pair<TensorImpl*, size_t>> stack;
   stack.emplace_back(impl_.get(), 0);

@@ -181,7 +181,7 @@ TEST(ClassicalProperty, TrussCommunityPrecisionOnPlantedGraph) {
     ++count;
   }
   ASSERT_GT(count, 0);
-  EXPECT_GT(precision_sum / count, 0.6);
+  EXPECT_GT(precision_sum / static_cast<double>(count), 0.6);
 }
 
 }  // namespace

@@ -78,8 +78,12 @@ TEST(Engine, SupportObservationsImproveSearch) {
       if (in_set[v] && !is_member) ++fp;
       if (!in_set[v] && is_member) ++fn;
     }
-    const double p = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0;
-    const double r = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0;
+    const double p = tp + fp > 0 ? static_cast<double>(tp) /
+                                       static_cast<double>(tp + fp)
+                                 : 0;
+    const double r = tp + fn > 0 ? static_cast<double>(tp) /
+                                       static_cast<double>(tp + fn)
+                                 : 0;
     return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
   };
 

@@ -1,0 +1,250 @@
+// Drives every cgnp_lint rule (src/lint/lint.h) over synthetic snippets --
+// positive, negative, NOLINT-suppressed, and cross-file Status resolution
+// -- then self-checks that the shipped tree is clean, so a lint regression
+// fails ctest even before CI's static-analysis job sees it.
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cgnp {
+namespace lint {
+namespace {
+
+using Files = std::vector<SourceFile>;
+
+bool HasFinding(const LintReport& report, const std::string& rule,
+                const std::string& file, int line = 0) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule && f.file == file &&
+                              (line == 0 || f.line == line);
+                     });
+}
+
+// --- cgnp-discarded-status --------------------------------------------------
+
+TEST(DiscardedStatus, FlagsDiscardedCallAndResolvesAcrossFiles) {
+  // Declaration in one file, discarding caller in another.
+  const Files files = {
+      {"src/graph/io.h", "Status SaveThing(const std::string& path);\n"},
+      {"src/serve/user.cc",
+       "void Handle() {\n"
+       "  SaveThing(\"p\");\n"  // discarded -> finding
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(HasFinding(report, "cgnp-discarded-status", "src/serve/user.cc", 2))
+      << FormatReport(report, /*verbose=*/true);
+  EXPECT_NE(std::find(report.status_functions.begin(),
+                      report.status_functions.end(), "SaveThing"),
+            report.status_functions.end());
+}
+
+TEST(DiscardedStatus, AcceptsConsumedResults) {
+  const Files files = {
+      {"src/graph/io.h",
+       "Status SaveThing(const std::string& path);\n"
+       "StatusOr<int> LoadThing(const std::string& path);\n"},
+      {"src/serve/user.cc",
+       "Status Handle() {\n"
+       "  Status s = SaveThing(\"p\");\n"
+       "  CGNP_RETURN_IF_ERROR(SaveThing(\"q\"));\n"
+       "  if (!SaveThing(\"r\").ok()) return s;\n"
+       "  auto v = LoadThing(\"p\");\n"
+       "  return SaveThing(\"t\");\n"
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(report.clean()) << FormatReport(report, /*verbose=*/true);
+}
+
+TEST(DiscardedStatus, NolintSuppressesWithJustification) {
+  const Files files = {
+      {"src/graph/io.h", "Status SaveThing(const std::string& path);\n"},
+      {"src/serve/user.cc",
+       "void Handle() {\n"
+       "  SaveThing(\"p\");  // NOLINT(cgnp-discarded-status): best-effort\n"
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(report.clean()) << FormatReport(report, /*verbose=*/true);
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_TRUE(report.suppressions[0].used);
+  EXPECT_TRUE(report.suppressions[0].justified);
+  const auto budget = report.SuppressionBudget();
+  EXPECT_EQ(budget.at("cgnp-discarded-status"), 1);
+}
+
+TEST(DiscardedStatus, UnjustifiedNolintIsItselfAFinding) {
+  const Files files = {
+      {"src/graph/io.h", "Status SaveThing(const std::string& path);\n"},
+      {"src/serve/user.cc",
+       "void Handle() {\n"
+       "  SaveThing(\"p\");  // NOLINT(cgnp-discarded-status)\n"
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(
+      HasFinding(report, "cgnp-nolint-justification", "src/serve/user.cc", 2))
+      << FormatReport(report, /*verbose=*/true);
+  EXPECT_FALSE(HasFinding(report, "cgnp-discarded-status", "src/serve/user.cc"));
+}
+
+// --- cgnp-no-abort ----------------------------------------------------------
+
+TEST(NoAbort, FlagsAbortersInServingLayersOnly) {
+  const std::string body =
+      "void Handle(int k) {\n"
+      "  CGNP_CHECK_GE(k, 0);\n"
+      "  if (k > 9) abort();\n"
+      "  if (k > 8) throw k;\n"
+      "}\n";
+  const LintReport serve = LintSources({{"src/serve/h.cc", body}});
+  EXPECT_TRUE(HasFinding(serve, "cgnp-no-abort", "src/serve/h.cc", 2));
+  EXPECT_TRUE(HasFinding(serve, "cgnp-no-abort", "src/serve/h.cc", 3));
+  EXPECT_TRUE(HasFinding(serve, "cgnp-no-abort", "src/serve/h.cc", 4));
+
+  // The same text outside the configured layers is fine.
+  const LintReport internals = LintSources({{"src/graph/mincut.cc", body}});
+  EXPECT_TRUE(internals.clean())
+      << FormatReport(internals, /*verbose=*/true);
+}
+
+TEST(NoAbort, NolintNextlineCoversTheLineBelow) {
+  const Files files = {
+      {"src/cs/algo.cc",
+       "void Run(int q) {\n"
+       "  // NOLINTNEXTLINE(cgnp-no-abort): validated by the adapter\n"
+       "  CGNP_CHECK_GE(q, 0);\n"
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(report.clean()) << FormatReport(report, /*verbose=*/true);
+}
+
+// --- cgnp-determinism -------------------------------------------------------
+
+TEST(Determinism, FlagsHashContainersAndLibcPrngInKernels) {
+  const Files files = {
+      {"src/tensor/k.cc",
+       "#include <unordered_map>\n"
+       "int F() {\n"
+       "  std::unordered_map<int, int> m;\n"
+       "  return rand();\n"
+       "}\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(HasFinding(report, "cgnp-determinism", "src/tensor/k.cc", 3));
+  EXPECT_TRUE(HasFinding(report, "cgnp-determinism", "src/tensor/k.cc", 4));
+}
+
+TEST(Determinism, IgnoresOrderedContainersAndOtherLayers) {
+  const LintReport kernel = LintSources(
+      {{"src/nn/layer.cc", "std::map<int, int> m;\nstd::set<int> s;\n"}});
+  EXPECT_TRUE(kernel.clean());
+  // unordered_set outside the deterministic paths is allowed.
+  const LintReport other = LintSources(
+      {{"src/graph/algo.cc", "std::unordered_set<int> seen;\n"}});
+  EXPECT_TRUE(other.clean());
+}
+
+// --- cgnp-raw-logging -------------------------------------------------------
+
+TEST(RawLogging, FlagsStdoutInLibraryButNotToolsOrExemptFiles) {
+  const LintReport lib = LintSources(
+      {{"src/graph/algo.cc", "void F() { std::cout << \"hi\\n\"; }\n"}});
+  EXPECT_TRUE(HasFinding(lib, "cgnp-raw-logging", "src/graph/algo.cc", 1));
+
+  // Tools own their stdout; the log sink implementation is exempt.
+  const LintReport tool = LintSources(
+      {{"tools/cli.cc", "int main() { std::printf(\"out\\n\"); }\n"}});
+  EXPECT_TRUE(tool.clean());
+  const LintReport sink = LintSources(
+      {{"src/obs/log.cc", "void Emit() { std::cerr << \"x\"; }\n"}});
+  EXPECT_TRUE(sink.clean());
+}
+
+// --- cgnp-include-hygiene ---------------------------------------------------
+
+TEST(IncludeHygiene, RequiresOwnHeaderFirst) {
+  const Files bad = {
+      {"src/graph/algo.cc",
+       "#include <vector>\n"
+       "#include \"graph/algo.h\"\n"},
+      {"src/graph/algo.h", "int F();\n"},
+  };
+  EXPECT_TRUE(HasFinding(LintSources(bad), "cgnp-include-hygiene",
+                         "src/graph/algo.cc"));
+
+  const Files good = {
+      {"src/graph/algo.cc",
+       "#include \"graph/algo.h\"\n"
+       "#include <vector>\n"},
+      {"src/graph/algo.h", "int F();\n"},
+  };
+  EXPECT_TRUE(LintSources(good).clean());
+}
+
+TEST(IncludeHygiene, ForbidsSrcIncludingTests) {
+  const Files files = {
+      {"src/graph/algo.cc",
+       "#include \"graph/algo.h\"\n"
+       "#include \"tests/fixtures.h\"\n"},
+      {"src/graph/algo.h", "int F();\n"},
+  };
+  EXPECT_TRUE(HasFinding(LintSources(files), "cgnp-include-hygiene",
+                         "src/graph/algo.cc", 2));
+}
+
+// --- suppression bookkeeping ------------------------------------------------
+
+TEST(Suppressions, UnknownRuleNameIsAFinding) {
+  const Files files = {
+      {"src/graph/algo.cc",
+       "int x = 1;  // NOLINT(cgnp-made-up-rule): because\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(HasFinding(report, "cgnp-nolint-justification",
+                         "src/graph/algo.cc", 1))
+      << FormatReport(report, /*verbose=*/true);
+}
+
+TEST(Suppressions, NonCgnpNolintIsIgnored) {
+  // Plain clang-tidy suppressions pass through untouched.
+  const Files files = {
+      {"src/graph/algo.cc",
+       "int x = 1;  // NOLINT(bugprone-branch-clone)\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(report.clean()) << FormatReport(report, /*verbose=*/true);
+  EXPECT_TRUE(report.suppressions.empty());
+}
+
+// --- shipped tree -----------------------------------------------------------
+
+// The tree this test was compiled from must lint clean: the acceptance bar
+// for every PR (CI runs the same check via tools/cgnp_lint).
+TEST(ShippedTree, LintsClean) {
+#ifndef CGNP_SOURCE_DIR
+  GTEST_SKIP() << "CGNP_SOURCE_DIR not defined by the build";
+#else
+  auto report = LintTree(CGNP_SOURCE_DIR);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->files_scanned, 100);
+  EXPECT_TRUE(report->clean()) << FormatReport(*report, /*verbose=*/true);
+  // Every suppression in the tree must be justified and in use; the
+  // budget stays visible here so growth is a conscious decision.
+  for (const auto& s : report->suppressions) {
+    EXPECT_TRUE(s.justified) << s.file << ":" << s.line;
+    EXPECT_TRUE(s.used) << s.file << ":" << s.line << " (" << s.rule << ")";
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace cgnp

@@ -311,7 +311,12 @@ CommunitySearchEngine TrainedEngine(const Graph& g) {
 TEST(ServeObsTest, StageSpansCoverRequestLatency) {
   const Graph g = PlantedGraph();
   const CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/2, /*cache_capacity=*/64);
+  ServeOptions server_opt;
+  server_opt.num_threads = 2;
+  server_opt.cache_capacity = 64;
+  auto server_or = QueryServer::Create(&engine, server_opt);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  QueryServer& server = **server_or;
 
   std::vector<SearchRequest> batch;
   for (int i = 0; i < 20; ++i) {
@@ -345,7 +350,12 @@ TEST(ServeObsTest, StageSpansCoverRequestLatency) {
 TEST(ServeObsTest, CacheHitSkipsEncodeStage) {
   const Graph g = PlantedGraph();
   const CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/1, /*cache_capacity=*/16);
+  ServeOptions server_opt;
+  server_opt.num_threads = 1;
+  server_opt.cache_capacity = 16;
+  auto server_or = QueryServer::Create(&engine, server_opt);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  QueryServer& server = **server_or;
 
   SearchRequest req;
   req.graph = &g;
@@ -379,7 +389,9 @@ TEST(ServeObsTest, CacheHitSkipsEncodeStage) {
       found_encode = true;
       EXPECT_EQ(st.count, 1u);
     }
-    if (st.stage == "decode") EXPECT_EQ(st.count, 2u);
+    if (st.stage == "decode") {
+      EXPECT_EQ(st.count, 2u);
+    }
   }
   EXPECT_TRUE(found_encode);
 }
@@ -513,7 +525,9 @@ TEST(ServeObsTest, ConcurrentServeKeepsExactCounters) {
       const ServerStats s = server.Stats();
       EXPECT_GE(s.requests, s.errors);
       EXPECT_LE(s.p50_ms, s.p99_ms + 1e-9);
-      if (s.requests > 0) EXPECT_GE(s.max_ms, s.min_ms);
+      if (s.requests > 0) {
+        EXPECT_GE(s.max_ms, s.min_ms);
+      }
     }
   });
   std::vector<std::thread> clients;

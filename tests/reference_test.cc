@@ -147,7 +147,9 @@ TEST(Reference, GcnLayerMatchesDenseComputation) {
     for (NodeId u : g.Neighbors(v)) a[v][u] = 1;
   }
   std::vector<double> dinv(n);
-  for (NodeId v = 0; v < n; ++v) dinv[v] = 1.0 / std::sqrt(g.Degree(v) + 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    dinv[v] = 1.0 / std::sqrt(static_cast<double>(g.Degree(v)) + 1.0);
+  }
   // y = A_hat x, then y W + bias via the layer's own parameters.
   const auto params = conv.Parameters();
   const Tensor& w = params[0];

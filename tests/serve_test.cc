@@ -1,6 +1,7 @@
 #include "serve/query_server.h"
 
 #include <atomic>
+#include <memory>
 #include <set>
 
 #include "common/check.h"
@@ -20,6 +21,18 @@ using serve::SearchRequest;
 using serve::SearchResponse;
 using serve::ServeOptions;
 using serve::TaskFingerprint;
+
+// All construction goes through the validating Create(); the helper keeps
+// each test at one line. Tests that need a failure path call Create()
+// directly and inspect the Status.
+std::unique_ptr<QueryServer> MakeServer(const CommunitySearchEngine& engine,
+                                        int num_threads,
+                                        int64_t cache_capacity = 256) {
+  ServeOptions opt;
+  opt.num_threads = num_threads;
+  opt.cache_capacity = cache_capacity;
+  return QueryServer::Create(&engine, opt).value();
+}
 
 Graph PlantedGraph(uint64_t seed = 1) {
   Rng rng(seed);
@@ -144,7 +157,8 @@ TEST(ContextCacheTest, OutOfRangeSupportIdReturnsStatus) {
 TEST(QueryServerTest, CachedContextIdenticalToFresh) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/2, /*cache_capacity=*/16);
+  auto server_ptr = MakeServer(engine, 2, 16);
+  QueryServer& server = *server_ptr;
 
   SearchRequest req;
   req.graph = &g;
@@ -170,7 +184,8 @@ TEST(QueryServerTest, CachedContextIdenticalToFresh) {
 TEST(QueryServerTest, MatchesSingleThreadedEngineSearch) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/4);
+  auto server_ptr = MakeServer(engine, 4);
+  QueryServer& server = *server_ptr;
 
   std::vector<SearchRequest> batch;
   for (NodeId q = 0; q < 40; ++q) {
@@ -193,7 +208,8 @@ TEST(QueryServerTest, MatchesSingleThreadedEngineSearch) {
 TEST(QueryServerTest, SupportedQueriesMatchEngineSearch) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/2);
+  auto server_ptr = MakeServer(engine, 2);
+  QueryServer& server = *server_ptr;
 
   const NodeId q = 42;
   QueryExample obs;
@@ -212,7 +228,8 @@ TEST(QueryServerTest, SupportedQueriesMatchEngineSearch) {
 TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/4, /*cache_capacity=*/64);
+  auto server_ptr = MakeServer(engine, 4, 64);
+  QueryServer& server = *server_ptr;
 
   // 3 distinct queries, each asked 4 times: 3 misses, 9 hits.
   std::vector<SearchRequest> batch;
@@ -326,7 +343,8 @@ TEST(QueryServerBackendTest, CgnpViaCreateMatchesEngineSearch) {
 TEST(QueryServerErrorTest, OutOfRangeQueryIdReturnsStatusResponse) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/2);
+  auto server_ptr = MakeServer(engine, 2);
+  QueryServer& server = *server_ptr;
 
   SearchRequest req;
   req.graph = &g;
@@ -341,7 +359,8 @@ TEST(QueryServerErrorTest, OutOfRangeQueryIdReturnsStatusResponse) {
 TEST(QueryServerErrorTest, NullGraphReturnsStatusResponse) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/2);
+  auto server_ptr = MakeServer(engine, 2);
+  QueryServer& server = *server_ptr;
 
   SearchRequest req;  // graph left null
   req.query = 3;
@@ -353,7 +372,8 @@ TEST(QueryServerErrorTest, NullGraphReturnsStatusResponse) {
 TEST(QueryServerErrorTest, BatchMixesErrorsAndSuccesses) {
   Graph g = PlantedGraph();
   CommunitySearchEngine engine = TrainedEngine(g);
-  QueryServer server(engine, /*num_threads=*/4);
+  auto server_ptr = MakeServer(engine, 4);
+  QueryServer& server = *server_ptr;
 
   std::vector<SearchRequest> batch;
   for (NodeId q : {NodeId(3), NodeId(-7), NodeId(5), g.num_nodes()}) {

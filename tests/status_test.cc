@@ -94,7 +94,7 @@ TEST(StatusOrTest, SupportsMoveOnlyPayloads) {
 
 TEST(StatusOrTest, SupportsNonDefaultConstructiblePayloads) {
   struct NoDefault {
-    explicit NoDefault(int x) : x(x) {}
+    explicit NoDefault(int value) : x(value) {}
     int x;
   };
   StatusOr<NoDefault> ok = NoDefault(5);

@@ -52,7 +52,7 @@ TEST(Synthetic, IntraDensityExceedsInterDensity) {
   EXPECT_GT(intra, 2 * inter);
   // Density per possible pair is far higher within communities: with 6
   // equal communities, within-pairs are ~1/6 of cross-pairs.
-  const double n = g.num_nodes();
+  const double n = static_cast<double>(g.num_nodes());
   const double within_pairs = 6 * (n / 6) * (n / 6 - 1) / 2;
   const double cross_pairs = n * (n - 1) / 2 - within_pairs;
   EXPECT_GT(static_cast<double>(intra) / within_pairs,
@@ -67,8 +67,8 @@ TEST(Synthetic, ExpectedDegreeApproximatelyMatches) {
   cfg.intra_degree = 8;
   cfg.inter_degree = 2;
   Graph g = GenerateSyntheticGraph(cfg, &rng);
-  const double mean_degree =
-      2.0 * static_cast<double>(g.num_edges()) / g.num_nodes();
+  const double mean_degree = 2.0 * static_cast<double>(g.num_edges()) /
+                             static_cast<double>(g.num_nodes());
   // Duplicate proposals get deduplicated, so realised degree is slightly
   // below the 10 requested; accept a broad band.
   EXPECT_GT(mean_degree, 6.0);
@@ -92,8 +92,9 @@ TEST(Synthetic, AttributeHomophily) {
     std::vector<int32_t> inter;
     std::set_intersection(aa.begin(), aa.end(), ab.begin(), ab.end(),
                           std::back_inserter(inter));
-    const double uni = aa.size() + ab.size() - inter.size();
-    return uni > 0 ? inter.size() / uni : 0.0;
+    const double uni =
+        static_cast<double>(aa.size() + ab.size() - inter.size());
+    return uni > 0 ? static_cast<double>(inter.size()) / uni : 0.0;
   };
   Rng pick(5);
   double same_sum = 0, diff_sum = 0;
@@ -112,7 +113,8 @@ TEST(Synthetic, AttributeHomophily) {
   }
   ASSERT_GT(same_n, 0);
   ASSERT_GT(diff_n, 0);
-  EXPECT_GT(same_sum / same_n, 2.0 * (diff_sum / diff_n));
+  EXPECT_GT(same_sum / static_cast<double>(same_n),
+            2.0 * (diff_sum / static_cast<double>(diff_n)));
 }
 
 TEST(Synthetic, PowerLawProducesHubs) {
@@ -200,8 +202,11 @@ TEST(Profiles, RedditIsDensestPerNode) {
   // Compare realised density of (scaled) Reddit vs Citeseer.
   Graph reddit = MakeDataset(RedditProfile(), &rng)[0];
   Graph citeseer = MakeDataset(CiteseerProfile(), &rng)[0];
-  const double reddit_deg = 2.0 * reddit.num_edges() / reddit.num_nodes();
-  const double citeseer_deg = 2.0 * citeseer.num_edges() / citeseer.num_nodes();
+  const double reddit_deg = 2.0 * static_cast<double>(reddit.num_edges()) /
+                            static_cast<double>(reddit.num_nodes());
+  const double citeseer_deg =
+      2.0 * static_cast<double>(citeseer.num_edges()) /
+      static_cast<double>(citeseer.num_nodes());
   EXPECT_GT(reddit_deg, 5.0 * citeseer_deg);
 }
 

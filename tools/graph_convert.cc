@@ -68,10 +68,10 @@ const char* FlagValue(const std::string& arg, const char* prefix) {
 int RunConvert(const std::vector<std::string>& args) {
   std::string in, out, communities, attributes;
   for (const auto& arg : args) {
-    if (const char* v = FlagValue(arg, "--communities=")) {
-      communities = v;
-    } else if (const char* v = FlagValue(arg, "--attributes=")) {
-      attributes = v;
+    if (const char* com = FlagValue(arg, "--communities=")) {
+      communities = com;
+    } else if (const char* attr = FlagValue(arg, "--attributes=")) {
+      attributes = attr;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else if (in.empty()) {
@@ -100,20 +100,20 @@ int RunSynth(const std::vector<std::string>& args) {
   cfg.attribute_dim = 0;
   uint64_t seed = 7;
   for (const auto& arg : args) {
-    if (const char* v = FlagValue(arg, "--nodes=")) {
-      cfg.num_nodes = std::atoll(v);
-    } else if (const char* v = FlagValue(arg, "--communities=")) {
-      cfg.num_communities = std::atoll(v);
-    } else if (const char* v = FlagValue(arg, "--intra=")) {
-      cfg.intra_degree = std::atof(v);
-    } else if (const char* v = FlagValue(arg, "--inter=")) {
-      cfg.inter_degree = std::atof(v);
-    } else if (const char* v = FlagValue(arg, "--attr-dim=")) {
-      cfg.attribute_dim = std::atoll(v);
-    } else if (const char* v = FlagValue(arg, "--seed=")) {
-      seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = FlagValue(arg, "--edges-text=")) {
-      edges_text = v;
+    if (const char* nodes = FlagValue(arg, "--nodes=")) {
+      cfg.num_nodes = std::atoll(nodes);
+    } else if (const char* coms = FlagValue(arg, "--communities=")) {
+      cfg.num_communities = std::atoll(coms);
+    } else if (const char* intra = FlagValue(arg, "--intra=")) {
+      cfg.intra_degree = std::atof(intra);
+    } else if (const char* inter = FlagValue(arg, "--inter=")) {
+      cfg.inter_degree = std::atof(inter);
+    } else if (const char* attr_dim = FlagValue(arg, "--attr-dim=")) {
+      cfg.attribute_dim = std::atoll(attr_dim);
+    } else if (const char* seed_arg = FlagValue(arg, "--seed=")) {
+      seed = std::strtoull(seed_arg, nullptr, 10);
+    } else if (const char* edges = FlagValue(arg, "--edges-text=")) {
+      edges_text = edges;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else if (out.empty()) {
@@ -184,12 +184,12 @@ int RunServe(const std::string& path, const std::vector<std::string>& args) {
   serve::ServeOptions opt;
   opt.backend = "kcore";
   for (const auto& arg : args) {
-    if (const char* v = FlagValue(arg, "--queries=")) {
-      queries = std::atoll(v);
-    } else if (const char* v = FlagValue(arg, "--backend=")) {
-      opt.backend = v;
-    } else if (const char* v = FlagValue(arg, "--threads=")) {
-      opt.num_threads = static_cast<int>(std::atoll(v));
+    if (const char* q = FlagValue(arg, "--queries=")) {
+      queries = std::atoll(q);
+    } else if (const char* backend = FlagValue(arg, "--backend=")) {
+      opt.backend = backend;
+    } else if (const char* threads = FlagValue(arg, "--threads=")) {
+      opt.num_threads = static_cast<int>(std::atoll(threads));
     } else {
       return Usage();
     }

@@ -38,12 +38,12 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       const size_t n = std::strlen(prefix);
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (const char* v = value("--format=")) {
-      out->format = v;
-    } else if (const char* v = value("--backend=")) {
-      out->backend = v;
-    } else if (const char* v = value("--requests=")) {
-      out->requests = std::atoll(v);
+    if (const char* fmt = value("--format=")) {
+      out->format = fmt;
+    } else if (const char* backend = value("--backend=")) {
+      out->backend = backend;
+    } else if (const char* requests = value("--requests=")) {
+      out->requests = std::atoll(requests);
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
