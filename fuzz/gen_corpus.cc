@@ -73,6 +73,22 @@ int main(int argc, char** argv) {
     Emit(root / "graph_format", "tiny.cgrf", bytes);
   }
 
+  // Edit list: every line shape the grammar accepts (signs, comments,
+  // blanks, CRLF, tabs) plus edits that parse but fail application --
+  // Emit's truncated/flipped variants cover mid-token cuts for free.
+  {
+    Emit(root / "edit_list", "edits.txt",
+         "# ring rewiring\n"
+         "+0 5\n"
+         "-0 4\n"
+         "\t+ 2  6 \r\n"
+         "\n"
+         "-1 2\n"
+         "+99 100\n");  // parses; rejected at apply (id out of range)
+    WriteFile(root / "edit_list" / "hostile.txt",
+              "+-1 2\n+0 0\n-0 7\n+184467440737095516150 1\n");
+  }
+
   // Bench-report JSON: the shapes the schema actually uses.
   {
     Emit(root / "bench_json", "report.json",

@@ -9,6 +9,7 @@
 #include "cs/acq.h"
 #include "cs/atc.h"
 #include "cs/ctc.h"
+#include "cs/dynamic.h"
 #include "cs/kclique_community.h"
 #include "cs/kcore_community.h"
 #include "cs/kecc_community.h"
@@ -23,25 +24,20 @@ SearcherFactory MakeCgnpSearcherFactory();
 
 Status ValidateQueryInput(const Graph& g, NodeId query,
                           const std::vector<QueryExample>& labelled) {
-  const NodeId n = g.num_nodes();
-  if (n == 0) {
+  if (g.num_nodes() == 0) {
     return InvalidArgumentError("cannot search an empty graph");
   }
-  const auto out_of_range = [n](const char* what, NodeId v) {
-    return OutOfRangeError(std::string(what) + " node id " +
-                           std::to_string(v) + " out of range [0, " +
-                           std::to_string(n) + ")");
-  };
-  if (query < 0 || query >= n) return out_of_range("query", query);
+  // Per-id bounds go through the shared CheckNodeId gate (graph/graph.h),
+  // the same one the delta mutation API uses -- one message, one code,
+  // every layer.
+  CGNP_RETURN_IF_ERROR(CheckNodeId(g, query, "query"));
   for (const auto& ex : labelled) {
-    if (ex.query < 0 || ex.query >= n) {
-      return out_of_range("support", ex.query);
-    }
+    CGNP_RETURN_IF_ERROR(CheckNodeId(g, ex.query, "support"));
     for (NodeId v : ex.pos) {
-      if (v < 0 || v >= n) return out_of_range("support", v);
+      CGNP_RETURN_IF_ERROR(CheckNodeId(g, v, "support"));
     }
     for (NodeId v : ex.neg) {
-      if (v < 0 || v >= n) return out_of_range("support", v);
+      CGNP_RETURN_IF_ERROR(CheckNodeId(g, v, "support"));
     }
   }
   return Status::Ok();
@@ -166,6 +162,10 @@ void RegisterBuiltins(Registry* registry) {
       return ClosestTrussCommunity(g, q, cc);
     });
   });
+  // Incremental backends answering from a shared DynamicCommunityIndex
+  // (cs/dynamic.h) at its current version.
+  add("kcore_inc", MakeIncrementalCoreSearcherFactory());
+  add("ktruss_inc", MakeIncrementalTrussSearcherFactory());
   // The learned backend lives in core/, above this layer; it contributes
   // its factory through the forward-declared hook.
   add("cgnp", MakeCgnpSearcherFactory());

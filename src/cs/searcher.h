@@ -13,10 +13,12 @@
 //
 // Built-in names: "kcore", "ktruss", "kclique", "kecc", "acq", "atc",
 // "ctc" (thin adapters over src/cs/, returning node sets identical to the
-// direct calls) and "cgnp" (the learned engine, restored from
+// direct calls), "cgnp" (the learned engine, restored from
 // SearcherConfig::checkpoint; see core/cgnp_searcher.h to wrap an
-// in-memory engine instead). New backends register through
-// RegisterSearcherFactory.
+// in-memory engine instead), and "kcore_inc" / "ktruss_inc" (incremental
+// maintenance over a DynamicCommunityIndex, answering at the index's
+// current version; require SearcherConfig::dynamic_index -- see
+// cs/dynamic.h). New backends register through RegisterSearcherFactory.
 //
 // Error model: Search never aborts on bad input -- an empty graph or an
 // out-of-range query id returns a non-OK Status; MakeSearcher returns
@@ -34,6 +36,8 @@
 #include "graph/graph.h"
 
 namespace cgnp {
+
+class DynamicCommunityIndex;  // cs/dynamic.h
 
 // Per-query knobs, interpreted by the backend.
 struct QueryOptions {
@@ -93,6 +97,11 @@ struct SearcherConfig {
   // "cgnp": engine checkpoint to restore (required by the registered
   // factory; wrap an in-memory engine with MakeCgnpSearcher instead).
   std::string checkpoint;
+  // "kcore_inc" / "ktruss_inc": the incremental index those backends
+  // answer from, at its current version (required by them, InvalidArgument
+  // when absent; ignored by every other backend). Shared: many searchers
+  // may point at one index while edits keep flowing into it.
+  std::shared_ptr<DynamicCommunityIndex> dynamic_index;
 };
 
 using SearcherFactory =

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/parallel.h"
 
 namespace cgnp {
+
+Status CheckNodeId(const Graph& g, NodeId v, const char* what) {
+  if (v < 0 || v >= g.num_nodes()) {
+    return OutOfRangeError(std::string(what) + " node id " +
+                           std::to_string(v) + " out of range [0, " +
+                           std::to_string(g.num_nodes()) + ")");
+  }
+  return Status::Ok();
+}
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   auto nb = Neighbors(u);

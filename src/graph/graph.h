@@ -28,11 +28,13 @@
 #ifndef CGNP_GRAPH_GRAPH_H_
 #define CGNP_GRAPH_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
@@ -53,15 +55,24 @@ class Graph {
   Graph() = default;
 
   int64_t num_nodes() const { return num_nodes_; }
-  // Number of undirected edges.
+  // Number of undirected edges. No precondition: a default-constructed /
+  // empty graph answers 0 (row_ptr() is always at least {0}).
   int64_t num_edges() const { return static_cast<int64_t>(col_idx().size()) / 2; }
 
+  // Precondition: v in [0, num_nodes()) -- in particular NO id is valid on
+  // an empty graph. Asserted in debug builds; it is unchecked in release
+  // builds (this is the hottest accessor in the library), so external
+  // input must be gated through the Status-returning CheckNodeId() below
+  // before reaching here. Same contract for Neighbors().
   int64_t Degree(NodeId v) const {
+    assert(v >= 0 && v < num_nodes_);
     const auto rp = row_ptr();
     return rp[v + 1] - rp[v];
   }
-  // Sorted neighbor list of v.
+  // Sorted neighbor list of v. Precondition: v in [0, num_nodes()), as
+  // Degree() documents.
   std::span<const NodeId> Neighbors(NodeId v) const {
+    assert(v >= 0 && v < num_nodes_);
     const auto rp = row_ptr();
     return col_idx().subspan(rp[v], static_cast<size_t>(rp[v + 1] - rp[v]));
   }
@@ -202,6 +213,16 @@ class GraphBuilder {
   std::vector<std::vector<int32_t>> attrs_;
   std::vector<int64_t> community_;
 };
+
+// CGNP_CHECK-free bounds gate for node ids arriving from external input:
+// OutOfRange when v is outside [0, g.num_nodes()) -- which is every v when
+// the graph is empty -- with `what` naming the id's role in the message
+// ("query", "support", "edge endpoint"). The single validation shared by
+// the delta mutation API (graph/delta.h) and the serving-side task builder
+// (via ValidateQueryInput in cs/searcher.cc), so every user-reachable path
+// rejects the same bad id with the same Status instead of tripping
+// Degree()'s unchecked precondition.
+Status CheckNodeId(const Graph& g, NodeId v, const char* what = "node");
 
 // Induced subgraph on `nodes` (order defines new ids). Features, attributes
 // and community labels are carried over. If `new_of_old` is non-null it

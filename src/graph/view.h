@@ -1,0 +1,84 @@
+// Read interface over a graph that may carry uncompacted edits.
+//
+// PR 7 made Graph a *view over storage* (heap vectors or a mapped
+// container); this header makes the next move for dynamic workloads: a
+// *view over a version*. A GraphView answers the structural questions the
+// community-search algorithms ask -- degree, adjacency, edge membership --
+// against some version of a graph, without promising CSR storage behind
+// them. Two implementations ship:
+//
+//   * SnapshotView  -- a compacted, immutable Graph (version fixed);
+//   * GraphDelta    -- a snapshot plus an in-memory edit overlay
+//                      (graph/delta.h), whose version advances with every
+//                      applied edit.
+//
+// The split keeps the two worlds honest about cost: algorithms written
+// against GraphView (the incremental k-core / k-truss maintenance in
+// src/cs/dynamic.h) pay a virtual call and a materialised neighbor vector,
+// while the hot learned-serving path keeps taking `const Graph&` and runs
+// on the latest compacted snapshot (bounded staleness = the delta depth;
+// see src/serve/dynamic_server.h).
+//
+// Preconditions: Degree / HasEdge / NeighborsOf require node ids in
+// [0, num_nodes()) -- in particular no id is valid on an empty view.
+// Callers holding external input gate it through CheckNodeId()
+// (graph/graph.h) first; the mutating entry points of GraphDelta do so
+// internally and return Status instead of aborting.
+#ifndef CGNP_GRAPH_VIEW_H_
+#define CGNP_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cgnp {
+
+class GraphView {
+ public:
+  virtual ~GraphView() = default;
+
+  virtual int64_t num_nodes() const = 0;
+  // Number of undirected edges at this version.
+  virtual int64_t num_edges() const = 0;
+  // Monotonically increasing version counter. A SnapshotView's version is
+  // fixed at construction; a GraphDelta's advances by one per applied
+  // edit, so two equal versions of the same lineage imply an identical
+  // edge set.
+  virtual uint64_t version() const = 0;
+
+  // Precondition for all three: v (and u) in [0, num_nodes()).
+  virtual int64_t Degree(NodeId v) const = 0;
+  virtual bool HasEdge(NodeId u, NodeId v) const = 0;
+  // Sorted neighbor list of v, materialised. Snapshot-backed views copy
+  // the CSR row; delta-backed views merge the overlay in.
+  virtual std::vector<NodeId> NeighborsOf(NodeId v) const = 0;
+};
+
+// Adapter presenting an immutable Graph as a GraphView at a fixed version.
+// Borrows the graph; the caller keeps it alive.
+class SnapshotView final : public GraphView {
+ public:
+  explicit SnapshotView(const Graph* g, uint64_t version = 0)
+      : g_(g), version_(version) {}
+
+  int64_t num_nodes() const override { return g_->num_nodes(); }
+  int64_t num_edges() const override { return g_->num_edges(); }
+  uint64_t version() const override { return version_; }
+  int64_t Degree(NodeId v) const override { return g_->Degree(v); }
+  bool HasEdge(NodeId u, NodeId v) const override { return g_->HasEdge(u, v); }
+  std::vector<NodeId> NeighborsOf(NodeId v) const override {
+    const auto nb = g_->Neighbors(v);
+    return std::vector<NodeId>(nb.begin(), nb.end());
+  }
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+  uint64_t version_;
+};
+
+}  // namespace cgnp
+
+#endif  // CGNP_GRAPH_VIEW_H_

@@ -1,5 +1,7 @@
 #include "serve/context_cache.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace cgnp {
@@ -14,6 +16,7 @@ struct CacheMetrics {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* evictions;
+  obs::Counter* invalidations;
 };
 
 const CacheMetrics& GlobalCacheMetrics() {
@@ -23,6 +26,7 @@ const CacheMetrics& GlobalCacheMetrics() {
         &reg.GetCounter("cgnp_context_cache_hits_total"),
         &reg.GetCounter("cgnp_context_cache_misses_total"),
         &reg.GetCounter("cgnp_context_cache_evictions_total"),
+        &reg.GetCounter("cgnp_context_cache_invalidations_total"),
     };
   }();
   return m;
@@ -42,6 +46,22 @@ void HashI64(uint64_t* h, int64_t v) {
 void HashIds(uint64_t* h, const std::vector<NodeId>& ids) {
   HashI64(h, static_cast<int64_t>(ids.size()));
   for (NodeId v : ids) HashI64(h, v);
+}
+
+// Both inputs sorted ascending.
+bool SortedIntersect(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -72,27 +92,68 @@ bool ContextCache::Get(const Key& key, Tensor* out) {
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
   GlobalCacheMetrics().hits->Increment();
-  *out = it->second->second;
+  *out = it->second->context;
   return true;
 }
 
 void ContextCache::Put(const Key& key, Tensor context) {
+  Put(key, std::move(context), {});
+}
+
+void ContextCache::Put(const Key& key, Tensor context,
+                       std::vector<NodeId> nodes) {
   if (capacity_ <= 0) return;
+  std::sort(nodes.begin(), nodes.end());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(context);
+    it->second->context = std::move(context);
+    it->second->nodes = std::move(nodes);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(context));
+  lru_.push_front(Entry{key, std::move(context), std::move(nodes)});
   index_[key] = lru_.begin();
   if (static_cast<int64_t>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
     GlobalCacheMetrics().evictions->Increment();
   }
+}
+
+ContextCache::InvalidationResult ContextCache::ScopedInvalidate(
+    uint64_t graph_id, uint64_t new_version,
+    const std::vector<NodeId>& dirty) {
+  InvalidationResult result;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.graph_id != graph_id || it->key.version == new_version) {
+      ++it;
+      continue;
+    }
+    Key rekeyed = it->key;
+    rekeyed.version = new_version;
+    // Unknown coverage is conservatively dirty; recorded coverage survives
+    // iff it avoids every edited node. A fresher entry already cached under
+    // the new version wins over a re-keyed survivor.
+    const bool survives = !it->nodes.empty() &&
+                          !SortedIntersect(it->nodes, dirty) &&
+                          index_.count(rekeyed) == 0;
+    index_.erase(it->key);
+    if (survives) {
+      it->key = rekeyed;
+      index_[rekeyed] = it;
+      ++result.retained;
+      ++it;
+    } else {
+      it = lru_.erase(it);
+      ++result.evicted;
+      ++invalidations_;
+      GlobalCacheMetrics().invalidations->Increment();
+    }
+  }
+  return result;
 }
 
 void ContextCache::Clear() {
@@ -119,6 +180,11 @@ uint64_t ContextCache::misses() const {
 uint64_t ContextCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+uint64_t ContextCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
 }
 
 }  // namespace serve

@@ -63,6 +63,11 @@ QueryServer::QueryServer(const CgnpModel* model,
   metrics_.requests = &reg.GetCounter("cgnp_serve_requests_total", labels);
   metrics_.errors = &reg.GetCounter("cgnp_serve_errors_total", labels);
   metrics_.cache_hits = &reg.GetCounter("cgnp_serve_cache_hits_total", labels);
+  metrics_.updates = &reg.GetCounter("cgnp_serve_updates_total", labels);
+  metrics_.cache_invalidated =
+      &reg.GetCounter("cgnp_serve_cache_invalidated_total", labels);
+  metrics_.cache_retained =
+      &reg.GetCounter("cgnp_serve_cache_retained_total", labels);
   metrics_.latency_ms = &reg.GetHistogram("cgnp_serve_latency_ms", labels);
   metrics_.queue_depth = &reg.GetGauge("cgnp_serve_queue_depth", labels);
   CGNP_LOG(kDebug, "serve_start")
@@ -157,7 +162,8 @@ Status QueryServer::AnswerRequest(const SearchRequest& request,
         " vs model " + std::to_string(model_->feature_dim()));
   }
 
-  const ContextCache::Key key{request.graph_id, TaskFingerprint(task)};
+  const ContextCache::Key key{request.graph_id, TaskFingerprint(task),
+                              request.graph_version};
   resp->cache_eligible = true;  // the cgnp path consults the cache
   Tensor context;
   if (cache_.Get(key, &context)) {
@@ -165,7 +171,10 @@ Status QueryServer::AnswerRequest(const SearchRequest& request,
   } else {
     CGNP_TRACE_SPAN("encode");
     context = model_->TaskContext(task.graph, task.support, nullptr);
-    cache_.Put(key, context);
+    // Record which parent nodes the context depends on (the task's
+    // subgraph list) so graph updates can invalidate by overlap instead
+    // of flushing the whole graph id.
+    cache_.Put(key, context, task.nodes);
   }
 
   // Same decode path as CommunitySearchEngine::Search, so multi-threaded
@@ -265,6 +274,34 @@ SearchResponse QueryServer::Serve(const SearchRequest& request) {
   return ServeOne(request);
 }
 
+ContextCache::InvalidationResult QueryServer::NotifyGraphUpdate(
+    uint64_t graph_id, uint64_t new_version,
+    const std::vector<NodeId>& dirty) {
+  ContextCache::InvalidationResult result;
+  {
+    CGNP_TRACE_SPAN("invalidate");
+    result = cache_.ScopedInvalidate(graph_id, new_version, dirty);
+  }
+  metrics_.updates->Increment();
+  metrics_.cache_invalidated->Increment(
+      static_cast<uint64_t>(result.evicted));
+  metrics_.cache_retained->Increment(
+      static_cast<uint64_t>(result.retained));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stat_updates_;
+    stat_cache_invalidated_ += static_cast<uint64_t>(result.evicted);
+    stat_cache_retained_ += static_cast<uint64_t>(result.retained);
+  }
+  CGNP_LOG(kDebug, "serve_graph_update")
+      .Num("graph_id", static_cast<double>(graph_id))
+      .Num("version", static_cast<double>(new_version))
+      .Num("dirty_nodes", static_cast<double>(dirty.size()))
+      .Num("evicted", static_cast<double>(result.evicted))
+      .Num("retained", static_cast<double>(result.retained));
+  return result;
+}
+
 std::vector<SearchResponse> QueryServer::ServeBatch(
     const std::vector<SearchRequest>& batch) {
   std::vector<SearchResponse> responses(batch.size());
@@ -296,6 +333,9 @@ ServerStats QueryServer::Stats() const {
     s.errors = stat_errors_;
     s.cache_hits = stat_cache_hits_;
     s.cache_eligible = stat_cache_eligible_;
+    s.updates = stat_updates_;
+    s.cache_invalidated = stat_cache_invalidated_;
+    s.cache_retained = stat_cache_retained_;
     s.min_ms = stat_min_ms_;
     s.max_ms = stat_max_ms_;
     // The cache counts displacements over its lifetime; window against
@@ -348,6 +388,9 @@ void QueryServer::ResetStats() {
   stat_errors_ = 0;
   stat_cache_hits_ = 0;
   stat_cache_eligible_ = 0;
+  stat_updates_ = 0;
+  stat_cache_invalidated_ = 0;
+  stat_cache_retained_ = 0;
   stat_min_ms_ = stat_max_ms_ = 0.0;
   cache_evictions_at_reset_ = cache_.evictions();
   stage_accums_.clear();
@@ -371,6 +414,13 @@ bench::Json ServerStatsToJson(const ServerStats& stats) {
   doc.Set("cache_evictions", bench::Json::MakeNumber(
                                  static_cast<double>(stats.cache_evictions)));
   doc.Set("cache_hit_rate", bench::Json::MakeNumber(stats.cache_hit_rate));
+  doc.Set("updates", bench::Json::MakeNumber(
+                         static_cast<double>(stats.updates)));
+  doc.Set("cache_invalidated",
+          bench::Json::MakeNumber(
+              static_cast<double>(stats.cache_invalidated)));
+  doc.Set("cache_retained", bench::Json::MakeNumber(
+                                static_cast<double>(stats.cache_retained)));
   doc.Set("qps", bench::Json::MakeNumber(stats.qps));
   doc.Set("mean_ms", bench::Json::MakeNumber(stats.mean_ms));
   doc.Set("p50_ms", bench::Json::MakeNumber(stats.p50_ms));

@@ -66,6 +66,11 @@ struct SearchRequest {
   // Graph::storage_fingerprint() is a ready-made, process-stable value.
   uint64_t graph_id = 0;
   NodeId query = -1;
+  // Version of the graph this request runs against (GraphDelta::version
+  // lineage). Static serving leaves it 0; dynamic serving stamps it so
+  // cached contexts never cross versions -- see ContextCache and
+  // NotifyGraphUpdate.
+  uint64_t graph_version = 0;
   // Labelled support observations in `graph`'s node ids; empty = the
   // zero-shot setting (the query conditions the context alone).
   std::vector<QueryExample> support;
@@ -124,6 +129,13 @@ struct ServerStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;  // capacity displacements this window
   double cache_hit_rate = 0.0;   // hits / eligible (0 when none eligible)
+  // Dynamic serving: graph updates announced through NotifyGraphUpdate
+  // this window, and the scoped-invalidation outcome across them --
+  // entries evicted (dirty-region overlap) vs re-keyed to the new version
+  // (provably still exact).
+  uint64_t updates = 0;
+  uint64_t cache_invalidated = 0;
+  uint64_t cache_retained = 0;
   double qps = 0.0;             // requests / wall-time over the serving window
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -206,6 +218,17 @@ class QueryServer {
   std::vector<SearchResponse> ServeBatch(
       const std::vector<SearchRequest>& batch);
 
+  // Announces that graph `graph_id` moved to `new_version` with the sorted
+  // node set `dirty` edited since the cached entries' versions. Runs a
+  // scoped invalidation over the context cache: entries whose recorded
+  // task subgraph avoids the dirty region are re-keyed to the new version
+  // (their contexts are bit-identical there), the rest are dropped.
+  // Returns the sweep outcome; counted in Stats() and the
+  // cgnp_serve_updates/cache_invalidated/cache_retained metric families.
+  ContextCache::InvalidationResult NotifyGraphUpdate(
+      uint64_t graph_id, uint64_t new_version,
+      const std::vector<NodeId>& dirty);
+
   ServerStats Stats() const;
   void ResetStats();
 
@@ -245,6 +268,9 @@ class QueryServer {
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
     obs::Counter* cache_hits = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* cache_invalidated = nullptr;
+    obs::Counter* cache_retained = nullptr;
     obs::Histogram* latency_ms = nullptr;
     obs::Gauge* queue_depth = nullptr;
   };
@@ -262,6 +288,9 @@ class QueryServer {
   uint64_t stat_errors_ = 0;
   uint64_t stat_cache_hits_ = 0;
   uint64_t stat_cache_eligible_ = 0;
+  uint64_t stat_updates_ = 0;
+  uint64_t stat_cache_invalidated_ = 0;
+  uint64_t stat_cache_retained_ = 0;
   double stat_min_ms_ = 0.0;  // valid iff stat_requests_ > 0
   double stat_max_ms_ = 0.0;
   // Eviction count at the last ResetStats; ServerStats windows the

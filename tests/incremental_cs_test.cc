@@ -1,0 +1,272 @@
+#include "cs/dynamic.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cs/kcore_community.h"
+#include "cs/ktruss_community.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "tensor/rng.h"
+#include "tests/test_util.h"
+
+namespace cgnp {
+namespace {
+
+std::shared_ptr<const Graph> Share(Graph g) {
+  return std::make_shared<const Graph>(std::move(g));
+}
+
+// Cross-checks every maintained quantity against the batch algorithms run
+// on an equivalent from-scratch snapshot: core numbers per node, truss
+// numbers per edge, and the community answers (members AND order) for
+// every node as query at the default k.
+void ExpectIndexMatchesSnapshot(const DynamicCommunityIndex& index,
+                                const Graph& snapshot,
+                                const std::string& context) {
+  const std::vector<int64_t> core = CoreNumbers(snapshot);
+  ASSERT_EQ(index.CurrentCoreNumbers(), core) << context;
+
+  const EdgeList el = BuildEdgeList(snapshot);
+  const std::vector<int64_t> truss = TrussNumbers(snapshot, el);
+  for (size_t i = 0; i < el.edges.size(); ++i) {
+    const auto [u, v] = el.edges[i];
+    ASSERT_EQ(index.CurrentTrussOf(u, v), truss[i])
+        << context << " edge " << u << "-" << v;
+  }
+
+  for (NodeId q = 0; q < snapshot.num_nodes(); ++q) {
+    const auto inc_core = index.KCoreCommunity(q);
+    ASSERT_TRUE(inc_core.ok()) << context << ": " << inc_core.status();
+    ASSERT_EQ(*inc_core, KCoreCommunity(snapshot, q))
+        << context << " kcore query " << q;
+    const auto inc_truss = index.KTrussCommunity(q);
+    ASSERT_TRUE(inc_truss.ok()) << context << ": " << inc_truss.status();
+    ASSERT_EQ(*inc_truss, KTrussCommunity(snapshot, q))
+        << context << " ktruss query " << q;
+  }
+}
+
+Graph RandomGraph(Rng* rng, int64_t n, int64_t extra_edges) {
+  GraphBuilder b(n);
+  // A sprinkle of triangles plus random edges, so truss numbers spread.
+  for (int64_t e = 0; e < extra_edges; ++e) {
+    const NodeId u = rng->NextInt(n);
+    const NodeId v = rng->NextInt(n);
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+TEST(DynamicCommunityIndex, CreateRejectsNull) {
+  const auto index = DynamicCommunityIndex::Create(nullptr);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicCommunityIndex, ForwardsTheMutationContract) {
+  const auto index =
+      DynamicCommunityIndex::Create(Share(testing::PathGraph(3)));
+  ASSERT_TRUE(index.ok()) << index.status();
+  DynamicCommunityIndex& idx = **index;
+  EXPECT_EQ(idx.InsertEdge(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(idx.InsertEdge(1, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(idx.DeleteEdge(0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.version(), 0u);
+  // Idempotent insert: accepted, but neither version nor indices move.
+  ASSERT_TRUE(idx.InsertEdge(0, 1).ok());
+  EXPECT_EQ(idx.version(), 0u);
+  // Query-side errors, same codes as the batch adapters.
+  EXPECT_EQ(idx.KCoreCommunity(-1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(idx.KTrussCommunity(3).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DynamicCommunityIndex, EmptyGraphQueriesAreInvalid) {
+  const auto index = DynamicCommunityIndex::Create(Share(Graph()));
+  ASSERT_TRUE(index.ok()) << index.status();
+  const auto r = (*index)->KCoreCommunity(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicCommunityIndex, MatchesBatchOnAFixedStory) {
+  // Hand-written episode covering the interesting transitions: triangle
+  // creation (truss 2 -> 3), densification to K4 (truss 4, core 3), and
+  // the reverse via deletions.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 5);
+  const auto idx_or = DynamicCommunityIndex::Create(Share(b.Build()));
+  ASSERT_TRUE(idx_or.ok()) << idx_or.status();
+  DynamicCommunityIndex& idx = **idx_or;
+
+  const std::vector<GraphEdit> story = {
+      {true, 0, 2},   // closes triangle 0-1-2
+      {true, 0, 3},   // pendant
+      {true, 1, 3},   // second triangle
+      {true, 2, 3},   // K4 on {0,1,2,3}
+      {true, 3, 4},   // bridge toward 4-5
+      {false, 0, 1},  // break the K4
+      {false, 0, 2},
+      {false, 4, 5},  // isolate 5
+  };
+  std::set<std::pair<NodeId, NodeId>> model = {{0, 1}, {1, 2}, {4, 5}};
+  for (size_t i = 0; i < story.size(); ++i) {
+    ASSERT_TRUE(idx.Apply(story[i]).ok()) << "edit " << i;
+    const auto key = std::make_pair(std::min(story[i].u, story[i].v),
+                                    std::max(story[i].u, story[i].v));
+    if (story[i].insert) {
+      model.insert(key);
+    } else {
+      model.erase(key);
+    }
+    GraphBuilder rb(6);
+    for (const auto& [a, c] : model) rb.AddEdge(a, c);
+    ExpectIndexMatchesSnapshot(idx, rb.Build(),
+                               "story edit " + std::to_string(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DynamicCommunityIndex, MatchesBatchAfterEveryRandomUpdate) {
+  // The acceptance test: a long random interleaving of inserts and
+  // deletes; after EVERY update the maintained core and truss numbers and
+  // all community answers must equal the batch algorithms on an
+  // equivalent from-scratch snapshot.
+  Rng rng(97);
+  const int64_t n = 24;
+  const Graph base = RandomGraph(&rng, n, 40);
+  const auto idx_or = DynamicCommunityIndex::Create(Share(base));
+  ASSERT_TRUE(idx_or.ok()) << idx_or.status();
+  DynamicCommunityIndex& idx = **idx_or;
+
+  // Reference edge set, canonical u < v.
+  std::set<std::pair<NodeId, NodeId>> model;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : base.Neighbors(v)) {
+      if (u > v) model.emplace(v, u);
+    }
+  }
+
+  int applied = 0;
+  for (int step = 0; step < 1000; ++step) {
+    const NodeId u = rng.NextInt(n);
+    const NodeId v = rng.NextInt(n);
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    const bool insert = rng.Bernoulli(0.55);  // slight growth bias
+    if (insert) {
+      ASSERT_TRUE(idx.InsertEdge(u, v).ok());
+      if (!model.insert(key).second) continue;  // idempotent no-op
+    } else {
+      const Status s = idx.DeleteEdge(u, v);
+      if (model.erase(key) > 0) {
+        ASSERT_TRUE(s.ok()) << s;
+      } else {
+        ASSERT_EQ(s.code(), StatusCode::kNotFound);
+        continue;
+      }
+    }
+    ++applied;
+
+    // From-scratch snapshot of the reference model.
+    GraphBuilder b(n);
+    for (const auto& [a, c] : model) b.AddEdge(a, c);
+    const Graph snapshot = b.Build();
+    ExpectIndexMatchesSnapshot(idx, snapshot,
+                               "step " + std::to_string(step));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The interleaving must have exercised both directions substantially.
+  EXPECT_GT(applied, 400);
+  EXPECT_EQ(idx.delta_depth(), applied);
+}
+
+TEST(DynamicCommunityIndex, CompactRebasesWithoutChangingAnswers) {
+  Rng rng(1234);
+  const auto idx_or =
+      DynamicCommunityIndex::Create(Share(RandomGraph(&rng, 16, 30)));
+  ASSERT_TRUE(idx_or.ok());
+  DynamicCommunityIndex& idx = **idx_or;
+  for (int step = 0; step < 40; ++step) {
+    const NodeId u = rng.NextInt(16);
+    const NodeId v = rng.NextInt(16);
+    if (u != v) (void)idx.InsertEdge(u, v);
+  }
+  for (int step = 0; step < 10; ++step) {
+    const NodeId u = rng.NextInt(16);
+    const NodeId v = rng.NextInt(16);
+    if (u != v) (void)idx.DeleteEdge(u, v);
+  }
+  const uint64_t version = idx.version();
+  const std::vector<int64_t> core_before = idx.CurrentCoreNumbers();
+  const auto community_before = idx.KCoreCommunity(3);
+  ASSERT_TRUE(community_before.ok());
+
+  const std::shared_ptr<const Graph> snapshot = idx.Compact();
+  // Version lineage continues; the delta is empty again.
+  EXPECT_EQ(idx.version(), version);
+  EXPECT_EQ(idx.delta_depth(), 0);
+  EXPECT_TRUE(idx.DirtyNodes().empty());
+  // Maintained values carry over and still match batch on the snapshot.
+  EXPECT_EQ(idx.CurrentCoreNumbers(), core_before);
+  ExpectIndexMatchesSnapshot(idx, *snapshot, "post-compact");
+  const auto community_after = idx.KCoreCommunity(3);
+  ASSERT_TRUE(community_after.ok());
+  EXPECT_EQ(*community_after, *community_before);
+}
+
+TEST(SearcherRegistry, IncrementalBackendsAnswerFromTheIndex) {
+  ASSERT_TRUE(IsSearcherRegistered("kcore_inc"));
+  ASSERT_TRUE(IsSearcherRegistered("ktruss_inc"));
+  // Without an index the factories refuse.
+  const auto no_index = MakeSearcher("kcore_inc");
+  ASSERT_FALSE(no_index.ok());
+  EXPECT_EQ(no_index.status().code(), StatusCode::kInvalidArgument);
+
+  Rng rng(5);
+  const Graph base = RandomGraph(&rng, 20, 36);
+  const auto idx_or = DynamicCommunityIndex::Create(Share(base));
+  ASSERT_TRUE(idx_or.ok());
+  SearcherConfig cfg;
+  cfg.dynamic_index = *idx_or;
+  const auto kcore_inc = MakeSearcher("kcore_inc", cfg);
+  ASSERT_TRUE(kcore_inc.ok()) << kcore_inc.status();
+  const auto ktruss_inc = MakeSearcher("ktruss_inc", cfg);
+  ASSERT_TRUE(ktruss_inc.ok()) << ktruss_inc.status();
+
+  // Mutate through the index; the searchers see the new version even
+  // though the Graph handed to Search is the stale base snapshot.
+  ASSERT_TRUE((*idx_or)->InsertEdge(0, 1).ok());
+  const Graph current = [&] {
+    GraphBuilder b(base.num_nodes());
+    for (NodeId v = 0; v < base.num_nodes(); ++v) {
+      for (const NodeId u : base.Neighbors(v)) {
+        if (u > v) b.AddEdge(v, u);
+      }
+    }
+    b.AddEdge(0, 1);
+    return b.Build();
+  }();
+  for (NodeId q : {NodeId{0}, NodeId{7}, NodeId{13}}) {
+    const auto rc = (*kcore_inc)->Search(base, q, {}, {});
+    ASSERT_TRUE(rc.ok()) << rc.status();
+    EXPECT_EQ(rc->members, KCoreCommunity(current, q)) << "query " << q;
+    EXPECT_EQ(rc->backend, "kcore_inc");
+    const auto rt = (*ktruss_inc)->Search(base, q, {}, {});
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    EXPECT_EQ(rt->members, KTrussCommunity(current, q)) << "query " << q;
+  }
+  // Error contract matches the batch adapters.
+  const auto bad = (*kcore_inc)->Search(base, -3, {}, {});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cgnp
