@@ -8,11 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/gbench_export.h"
+#include "common/check.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
+#include "tensor/simd.h"
 
 namespace cgnp {
 namespace {
@@ -196,6 +198,87 @@ BENCHMARK(BM_ObsHotPathDisabledThreadSweep)
     ->Setup([](const benchmark::State&) { obs::SetEnabled(false); })
     ->Teardown([](const benchmark::State&) { obs::SetEnabled(true); })
     ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+// --- SIMD dispatch sweep ----------------------------------------------------
+//
+// The *SimdSweep benchmarks force one dispatch level (tensor/simd.h) per
+// row and run serial, so comparing rows gives the vectorization speedup on
+// this host directly. Arg(i) indexes AvailableSimdLevels() -- always
+// ascending with scalar first, so Arg(0) is the forced-scalar baseline and
+// the last row is the widest level the host supports. Each row labels
+// itself with the level name and exports it as the simd_level counter;
+// tools/run_bench_tier.sh ships these rows to CI, which diffs them against
+// bench/baselines/ and asserts the native/scalar ratio advisorily.
+
+void SimdSweepArgs(benchmark::internal::Benchmark* b) {
+  const auto levels = simd::AvailableSimdLevels();
+  for (size_t i = 0; i < levels.size(); ++i) {
+    b->Arg(static_cast<int64_t>(i));
+  }
+}
+
+// Forces the dispatch level for one benchmark run, restoring the previous
+// level (and the serial thread count other rows expect) on destruction.
+class SimdLevelForcer {
+ public:
+  explicit SimdLevelForcer(benchmark::State& state)
+      : prev_(simd::ActiveSimdLevel()) {
+    const auto levels = simd::AvailableSimdLevels();
+    level_ = levels[static_cast<size_t>(state.range(0))];
+    CGNP_CHECK(simd::SetSimdLevel(level_).ok());
+    state.SetLabel(simd::SimdLevelName(level_));
+    state.counters["simd_level"] = static_cast<double>(level_);
+  }
+  ~SimdLevelForcer() { CGNP_CHECK(simd::SetSimdLevel(prev_).ok()); }
+
+  simd::SimdLevel level() const { return level_; }
+
+ private:
+  simd::SimdLevel prev_;
+  simd::SimdLevel level_;
+};
+
+void BM_MatMulSimdSweep(benchmark::State& state) {
+  SimdLevelForcer forcer(state);
+  Rng rng(21);
+  const int64_t n = 256;
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulSimdSweep)->Apply(SimdSweepArgs);
+
+void BM_SpMMSimdSweep(benchmark::State& state) {
+  SimdLevelForcer forcer(state);
+  Graph g = LargeSyntheticGraph();
+  const SparseMatrix& a = g.GcnAdjacency();
+  Rng rng(22);
+  const int64_t d = 64;
+  Tensor x = Tensor::Randn({a.cols(), d}, &rng);
+  std::vector<float> y(a.rows() * d);
+  for (auto _ : state) {
+    a.Multiply(x.data(), d, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * d);
+}
+BENCHMARK(BM_SpMMSimdSweep)->Apply(SimdSweepArgs);
+
+void BM_SoftmaxSimdSweep(benchmark::State& state) {
+  // Row softmax over attention-logit-shaped data: max + exp_sum + scale
+  // kernels back to back, the reduction-heavy end of the dispatch table.
+  SimdLevelForcer forcer(state);
+  Rng rng(23);
+  Tensor scores = Tensor::Randn({4096, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(scores).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096 * 64);
+}
+BENCHMARK(BM_SoftmaxSimdSweep)->Apply(SimdSweepArgs);
 
 void BM_AdamStep(benchmark::State& state) {
   const int64_t n = state.range(0);

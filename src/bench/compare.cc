@@ -69,6 +69,23 @@ CompareResult CompareReports(const std::vector<BenchReport>& baseline,
   }
 
   CompareResult result;
+  // Timings recorded at different SIMD dispatch levels are expected to
+  // move; note every (suite, baseline level, current level) mismatch so
+  // the reader discounts the deltas instead of chasing phantom
+  // regressions. "unknown" (pre-simd_level reports) stays silent.
+  for (const auto& base_report : baseline) {
+    for (const auto& cur_report : current) {
+      if (cur_report.meta.suite != base_report.meta.suite) continue;
+      const std::string& bs = base_report.meta.host_simd;
+      const std::string& cs = cur_report.meta.host_simd;
+      if (bs != cs && bs != "unknown" && cs != "unknown") {
+        result.host_notes.push_back(
+            base_report.meta.suite + ": baseline recorded at simd_level=" +
+            bs + ", current at simd_level=" + cs +
+            " -- timing deltas reflect the dispatch level, not the code");
+      }
+    }
+  }
   for (const auto& [key, cur] : cur_rows) {
     if (base_rows.find(key) == base_rows.end()) {
       result.extra_cases.push_back(key);

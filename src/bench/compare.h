@@ -80,6 +80,10 @@ struct CompareResult {
   std::vector<CaseComparison> cases;
   std::vector<std::string> missing_cases;  // in baseline, absent in current
   std::vector<std::string> extra_cases;    // in current, absent in baseline
+  // Non-fatal context the CLI prints before the per-case table -- e.g.
+  // baseline and current recorded at different SIMD dispatch levels, where
+  // every timing delta is expected and advisory reading is warranted.
+  std::vector<std::string> host_notes;
   int regressions = 0;
   int drifts = 0;
   int advisories = 0;

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <thread>
 
+#include "tensor/simd.h"
+
 namespace cgnp {
 namespace bench {
 
@@ -73,6 +75,7 @@ ReportMeta MakeReportMeta(const std::string& suite) {
   meta.host_cxx = CGNP_CXX_ID;
 #endif
   meta.host_cores = static_cast<int>(std::thread::hardware_concurrency());
+  meta.host_simd = simd::SimdLevelName(simd::ActiveSimdLevel());
   return meta;
 }
 
@@ -85,6 +88,7 @@ Json BenchReporter::ReportToJson(const BenchReport& report) {
   Json host = Json::MakeObject();
   host.Set("cores", Json::MakeNumber(report.meta.host_cores));
   host.Set("cxx", Json::MakeString(report.meta.host_cxx));
+  host.Set("simd_level", Json::MakeString(report.meta.host_simd));
   doc.Set("host", std::move(host));
   Json rows = Json::MakeArray();
   for (const BenchRow& r : report.rows) {
@@ -142,6 +146,7 @@ StatusOr<BenchReport> ParseReport(const std::string& json_text) {
   if (const Json* host = doc.Find("host"); host != nullptr) {
     report.meta.host_cores = static_cast<int>(host->GetNumber("cores", 0));
     report.meta.host_cxx = host->GetString("cxx", "unknown");
+    report.meta.host_simd = host->GetString("simd_level", "unknown");
   }
   const Json* rows = doc.Find("results");
   if (rows == nullptr || !rows->is_array()) {

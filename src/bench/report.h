@@ -73,6 +73,10 @@ struct ReportMeta {
   std::string build_type = "unknown";
   int host_cores = 0;
   std::string host_cxx = "unknown";
+  // The SIMD dispatch level the report was recorded at ("scalar" / "avx2"
+  // / "neon"; tensor/simd.h). Timings from different levels are not
+  // comparable -- bench_compare surfaces a mismatch note.
+  std::string host_simd = "unknown";
 };
 
 struct BenchReport {

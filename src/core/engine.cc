@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/io.h"
+#include "tensor/workspace.h"
 
 namespace cgnp {
 
@@ -198,6 +199,10 @@ StatusOr<QueryResult> CommunitySearchEngine::Query(
   // Inference only: never record tape (see the thread-safety contract on
   // CgnpModel's const methods in core/cgnp.h).
   NoGradGuard no_grad;
+  // Decode intermediates live in this thread's arena; `context` (declared
+  // after the scope) is destroyed before the arena resets. No-op when a
+  // serving layer already opened a scope for this request.
+  WorkspaceScope workspace;
   Tensor context;
   {
     CGNP_TRACE_SPAN("encode");

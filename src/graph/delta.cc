@@ -48,7 +48,7 @@ void GraphDelta::OverlayInsert(Overlay* o, NodeId u, NodeId v) {
 }
 
 void GraphDelta::OverlayErase(Overlay* o, NodeId u, NodeId v) {
-  for (const auto [a, b] : {std::pair{u, v}, std::pair{v, u}}) {
+  for (const auto& [a, b] : {std::pair{u, v}, std::pair{v, u}}) {
     const auto it = o->find(a);
     if (it == o->end()) continue;
     EraseSorted(&it->second, b);

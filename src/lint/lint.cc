@@ -18,12 +18,30 @@ const char kRuleNoAbort[] = "cgnp-no-abort";
 const char kRuleDeterminism[] = "cgnp-determinism";
 const char kRuleRawLogging[] = "cgnp-raw-logging";
 const char kRuleIncludeHygiene[] = "cgnp-include-hygiene";
+const char kRuleNoRawIntrinsics[] = "cgnp-no-raw-intrinsics";
 const char kRuleNolintJustification[] = "cgnp-nolint-justification";
 
 const char* const kKnownRules[] = {
     kRuleDiscardedStatus, kRuleNoAbort,          kRuleDeterminism,
-    kRuleRawLogging,      kRuleIncludeHygiene,   kRuleNolintJustification,
+    kRuleRawLogging,      kRuleIncludeHygiene,   kRuleNoRawIntrinsics,
+    kRuleNolintJustification,
 };
+
+// Vendor SIMD intrinsic headers (and the umbrella headers that pull them
+// in). Only the dispatch layer may include them.
+const char* const kIntrinsicHeaders[] = {
+    "immintrin.h", "x86intrin.h",  "arm_neon.h",  "emmintrin.h",
+    "xmmintrin.h", "smmintrin.h",  "tmmintrin.h", "pmmintrin.h",
+    "nmmintrin.h", "ammintrin.h",  "wmmintrin.h", "avxintrin.h",
+    "avx2intrin.h",
+};
+
+bool IsIntrinsicHeader(const std::string& path) {
+  for (const char* h : kIntrinsicHeaders) {
+    if (path == h) return true;
+  }
+  return false;
+}
 
 bool IsKnownRule(const std::string& rule) {
   for (const char* known : kKnownRules) {
@@ -725,6 +743,23 @@ LintReport LintSources(const std::vector<SourceFile>& files,
 
     // cgnp-include-hygiene.
     const std::vector<IncludeLine> includes = ScanIncludes(files[i].text);
+
+    // cgnp-no-raw-intrinsics: vendor intrinsic headers are includable only
+    // from the SIMD dispatch layer, so every vectorized loop goes through
+    // the runtime-dispatched kernel table (tensor/simd.h) and the scalar
+    // fallback can never silently diverge.
+    if (!PathMatches(path, config.intrinsics_exempt)) {
+      for (const auto& inc : includes) {
+        if (IsIntrinsicHeader(inc.path)) {
+          raw_findings.push_back(
+              {path, inc.line, kRuleNoRawIntrinsics,
+               "raw SIMD intrinsics (" + inc.path +
+                   ") are confined to src/tensor/simd.cc; add a kernel to "
+                   "the dispatch table in tensor/simd.h instead"});
+        }
+      }
+    }
+
     const bool is_src = StartsWith(path, "src/");
     if (is_src) {
       for (const auto& inc : includes) {

@@ -27,6 +27,11 @@
 //   cgnp-include-hygiene    every src/*.cc includes its own header first
 //                           (catches headers that do not stand alone), and
 //                           no src/ file includes from tests/.
+//   cgnp-no-raw-intrinsics  vendor SIMD headers (<immintrin.h>,
+//                           <arm_neon.h>, ...) are includable only from
+//                           src/tensor/simd.* -- all vectorized loops go
+//                           through the runtime dispatch table, so the
+//                           scalar fallback cannot rot.
 //
 // The checker is lexical, not a C++ front end: comments, string literals
 // and preprocessor directives are blanked before any rule runs, calls are
@@ -97,6 +102,11 @@ struct LintConfig {
   std::vector<std::string> raw_logging_exempt = {
       "src/obs/log.h", "src/obs/log.cc", "src/common/check.h",
       "src/common/check.cc",
+  };
+  // cgnp-no-raw-intrinsics runs everywhere except the SIMD dispatch layer
+  // itself (the one translation unit allowed to see vendor intrinsics).
+  std::vector<std::string> intrinsics_exempt = {
+      "src/tensor/simd.h", "src/tensor/simd.cc",
   };
   // cgnp-discarded-status and cgnp-include-hygiene run everywhere.
 };

@@ -16,7 +16,12 @@ GatConv::GatConv(int64_t in_dim, int64_t out_dim, Rng* rng,
 Tensor GatConv::Forward(const Graph& g, const Tensor& x) const {
   // Every op below is segment- or row-parallel (common/parallel.h): the
   // projections chunk over output rows, SegmentSoftmax / SegmentSumRows over
-  // destination segments. Results are bitwise-deterministic per thread count.
+  // destination segments. Results are bitwise-deterministic per thread count
+  // at any SIMD dispatch level (docs/KERNELS.md): the projections hit the
+  // GEMM axpy/dot kernels, SegmentSoftmax the max/exp_sum/scale kernels,
+  // and the {m,out}x{m,1} attention weighting the per-row scale kernel.
+  // Under a WorkspaceScope (the serve path) every intermediate here is
+  // arena-allocated and freed wholesale at end of query.
   const Graph::EdgeIndex& ei = g.AttentionEdges();
   Tensor h = MatMul(x, weight_);                     // {n, out}
   Tensor s_src = MatMul(h, attn_src_);               // {n, 1}

@@ -10,6 +10,9 @@ GcnConv::GcnConv(int64_t in_dim, int64_t out_dim, Rng* rng)
 }
 
 Tensor GcnConv::Forward(const Graph& g, const Tensor& x) const {
+  // SpMM runs the per-edge axpy SIMD kernel, the linear layer the GEMM
+  // kernels (docs/KERNELS.md); intermediates are workspace-arena-backed
+  // inside a serve-path WorkspaceScope.
   return linear_.Forward(SpMM(g.GcnAdjacency(), x));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "tensor/workspace.h"
 
 namespace cgnp {
 namespace serve {
@@ -103,6 +104,14 @@ void ContextCache::Put(const Key& key, Tensor context) {
 void ContextCache::Put(const Key& key, Tensor context,
                        std::vector<NodeId> nodes) {
   if (capacity_ <= 0) return;
+  // A cached context outlives the query that produced it. When the caller
+  // is inside a WorkspaceScope the tensor lives in the per-query arena, so
+  // deep-copy it into ordinary heap storage first -- this is the one
+  // sanctioned escape from the workspace lifetime rules (workspace.h).
+  if (Workspace::Active() != nullptr) {
+    WorkspacePause heap;
+    context = context.Clone();
+  }
   std::sort(nodes.begin(), nodes.end());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);

@@ -10,6 +10,7 @@
 #include "graph/format.h"
 #include "obs/log.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace cgnp {
 namespace serve {
@@ -220,7 +221,14 @@ SearchResponse QueryServer::ServeOne(const SearchRequest& request) {
   std::optional<obs::TraceCollector> collector;
   if (obs::Enabled()) collector.emplace();
 #endif
-  resp.status = AnswerRequest(request, &resp);
+  {
+    // One arena cycle per request: every intermediate tensor allocated
+    // under AnswerRequest lands in this thread's workspace and is
+    // reclaimed wholesale here. Escaping state (response vectors, cached
+    // contexts) is plain heap by construction -- see tensor/workspace.h.
+    WorkspaceScope workspace;
+    resp.status = AnswerRequest(request, &resp);
+  }
   if (!resp.status.ok()) {
     resp.members.clear();
     resp.probs.clear();

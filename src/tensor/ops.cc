@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "tensor/simd.h"
 
 namespace cgnp {
 
@@ -49,8 +51,18 @@ inline int64_t BIndex(Bcast bc, int64_t i, int64_t j, int64_t cols) {
 // the b-gradient only under kSame / kCol broadcasts (ib unique per element /
 // per row); kScalar and kRow accumulate many rows into one b element, so
 // that pass stays serial -- split off so a racy b never serialises a.
+//
+// `vec`, when non-null, is the SIMD kernel for the elementwise forward
+// (kSame whole-chunk, kRow per-row). Elementwise ops are position-
+// independent, so chunk boundaries cannot change bits: the vector forward
+// stays deterministic at any thread count *and* bitwise equal to scalar
+// (pure IEEE lane ops -- see simd.h).
+// `col_scale` additionally vectorises the kCol / kScalar broadcasts for
+// ops where broadcasting b reduces to scaling a row by one value (Mul).
 template <typename F, typename Da, typename Db>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb,
+                simd::BinaryKernelFn vec = nullptr,
+                simd::ScaleKernelFn col_scale = nullptr) {
   const Bcast bc = BroadcastOf(a.shape(), b.shape());
   const int64_t n = a.shape()[0], d = a.shape()[1];
   auto a_impl = a.impl();
@@ -95,7 +107,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
   const float* ap = a.data();
   const float* bp = b.data();
   ParallelFor(0, n, GrainForWork(d),
-              [o, ap, bp, bc, d, fwd](int64_t lo, int64_t hi) {
+              [o, ap, bp, bc, d, fwd, vec, col_scale](int64_t lo, int64_t hi) {
+                if (vec != nullptr && bc == Bcast::kSame) {
+                  vec((hi - lo) * d, ap + lo * d, bp + lo * d, o + lo * d);
+                  return;
+                }
+                if (vec != nullptr && bc == Bcast::kRow) {
+                  for (int64_t i = lo; i < hi; ++i)
+                    vec(d, ap + i * d, bp, o + i * d);
+                  return;
+                }
+                if (col_scale != nullptr && bc == Bcast::kCol) {
+                  for (int64_t i = lo; i < hi; ++i)
+                    col_scale(d, ap + i * d, bp[i], o + i * d);
+                  return;
+                }
+                if (col_scale != nullptr && bc == Bcast::kScalar) {
+                  col_scale((hi - lo) * d, ap + lo * d, bp[0], o + lo * d);
+                  return;
+                }
                 for (int64_t i = lo; i < hi; ++i) {
                   for (int64_t j = 0; j < d; ++j) {
                     o[i * d + j] = fwd(ap[i * d + j], bp[BIndex(bc, i, j, d)]);
@@ -107,8 +137,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Da dfa, Db dfb) {
 
 // Generic unary op; dfa(x, y) is d out / d in given input x and output y.
 // Elementwise, so forward and backward parallelise over flat chunks.
-template <typename F, typename Da>
-Tensor UnaryOp(const Tensor& a, F fwd, Da dfa) {
+// `vec` (callable: (int64_t n, const float* in, float* out)) replaces the
+// scalar forward loop when provided; same determinism argument as BinaryOp.
+template <typename F, typename Da, typename VecF = std::nullptr_t>
+Tensor UnaryOp(const Tensor& a, F fwd, Da dfa, VecF vec = nullptr) {
   auto a_impl = a.impl();
   const int64_t n = a.numel();
   Tensor out = MakeOpOutput(
@@ -124,8 +156,13 @@ Tensor UnaryOp(const Tensor& a, F fwd, Da dfa) {
       });
   float* o = out.data();
   const float* ap = a.data();
-  ParallelFor(0, n, kParallelCutoff, [o, ap, fwd](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) o[i] = fwd(ap[i]);
+  ParallelFor(0, n, kParallelCutoff, [o, ap, fwd, vec](int64_t lo, int64_t hi) {
+    if constexpr (!std::is_same_v<VecF, std::nullptr_t>) {
+      vec(hi - lo, ap + lo, o + lo);
+    } else {
+      (void)vec;
+      for (int64_t i = lo; i < hi; ++i) o[i] = fwd(ap[i]);
+    }
   });
   return out;
 }
@@ -136,6 +173,30 @@ Tensor UnaryOp(const Tensor& a, F fwd, Da dfa) {
 // identical for any thread count.
 void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, const float* a,
           const float* b, float* c) {
+  // One dispatch per GEMM, outside the row loops. Rows of C are owned by
+  // exactly one chunk and each kernel call covers a whole row with a fixed
+  // accumulation order, so any thread count gives the same bits per level.
+  const simd::SimdKernels* K = &simd::Kernels();
+  if (!ta && tb && n == 1) {
+    // C[m,1] = A[m,k] * B[1,k]^T: a dot product per row. This is the
+    // decoder scoring path (MatMul(h, query_row, false, true)) and the
+    // single biggest SIMD win -- scalar builds cannot vectorise the
+    // reduction without -ffast-math.
+    ParallelFor(0, m, GrainForWork(k), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) c[i] += K->dot(k, a + i * k, b);
+    });
+    return;
+  }
+  if (!ta && !tb) {
+    // Plain row-major GEMM (every forward MatMul): the register-blocked
+    // row microkernel owns the whole p loop per output row.
+    ParallelFor(0, m, GrainForWork(n * k), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        K->gemm_row(n, k, a + i * k, b, c + i * n);
+      }
+    });
+    return;
+  }
   ParallelFor(0, m, GrainForWork(n * k), [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       float* crow = c + i * n;
@@ -143,9 +204,9 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, const float* a,
         const float av = ta ? a[p * m + i] : a[i * k + p];
         if (av == 0.0f) continue;
         if (!tb) {
-          const float* brow = b + p * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          K->axpy(n, av, b + p * n, crow);
         } else {
+          // Strided b column: no contiguous kernel; stays scalar.
           for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
         }
       }
@@ -158,26 +219,30 @@ void Gemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k, const float* a,
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      simd::Kernels().add);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x - y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      simd::Kernels().sub);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  const simd::SimdKernels& K = simd::Kernels();
   return BinaryOp(
       a, b, [](float x, float y) { return x * y; },
-      [](float, float y) { return y; }, [](float x, float) { return x; });
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      K.mul, K.scale);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
-      [](float x, float y) { return -x / (y * y); });
+      [](float x, float y) { return -x / (y * y); }, simd::Kernels().div);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -186,8 +251,12 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
+  const simd::SimdKernels& K = simd::Kernels();
   return UnaryOp(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; },
+      [scale = K.scale, s](int64_t n, const float* in, float* o) {
+        scale(n, in, s, o);
+      });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -212,15 +281,21 @@ Tensor Tanh(const Tensor& a) {
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
       a, [](float x) { return x > 0 ? x : 0.0f; },
-      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; },
+      simd::Kernels().relu);
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  const simd::SimdKernels& K = simd::Kernels();
   return UnaryOp(
       a,
       [negative_slope](float x) { return x > 0 ? x : negative_slope * x; },
       [negative_slope](float x, float) {
         return x > 0 ? 1.0f : negative_slope;
+      },
+      [lrelu = K.leaky_relu, negative_slope](int64_t n, const float* in,
+                                             float* o) {
+        lrelu(n, negative_slope, in, o);
       });
 }
 
@@ -489,16 +564,15 @@ Tensor Softmax(const Tensor& a) {
   });
   float* o = out.data();
   const float* p = a.data();
-  ParallelFor(0, n, GrainForWork(d), [o, p, d](int64_t lo, int64_t hi) {
+  // Composed from whole-row kernels (max, exp+sum, scale by 1/z), so the
+  // result is row-deterministic at any thread count. All levels normalise
+  // by multiplying with the reciprocal.
+  const simd::SimdKernels* K = &simd::Kernels();
+  ParallelFor(0, n, GrainForWork(d), [o, p, d, K](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      float mx = p[i * d];
-      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, p[i * d + j]);
-      float z = 0;
-      for (int64_t j = 0; j < d; ++j) {
-        o[i * d + j] = std::exp(p[i * d + j] - mx);
-        z += o[i * d + j];
-      }
-      for (int64_t j = 0; j < d; ++j) o[i * d + j] /= z;
+      const float mx = K->max(d, p + i * d);
+      const float z = K->exp_sum(d, mx, p + i * d, o + i * d);
+      K->scale(d, o + i * d, 1.0f / z, o + i * d);
     }
   });
   return out;
@@ -566,18 +640,15 @@ Tensor SegmentSoftmax(const Tensor& scores,
       });
   float* o = out.data();
   const float* p = scores.data();
+  // Same whole-segment kernel composition as Softmax.
+  const simd::SimdKernels* K = &simd::Kernels();
   ParallelFor(0, num_segs, seg_grain, [&](int64_t s_lo, int64_t s_hi) {
     for (int64_t s = s_lo; s < s_hi; ++s) {
       const int64_t lo = seg_ptr[s], hi = seg_ptr[s + 1];
       if (lo == hi) continue;
-      float mx = p[lo];
-      for (int64_t e = lo + 1; e < hi; ++e) mx = std::max(mx, p[e]);
-      float z = 0;
-      for (int64_t e = lo; e < hi; ++e) {
-        o[e] = std::exp(p[e] - mx);
-        z += o[e];
-      }
-      for (int64_t e = lo; e < hi; ++e) o[e] /= z;
+      const float mx = K->max(hi - lo, p + lo);
+      const float z = K->exp_sum(hi - lo, mx, p + lo, o + lo);
+      K->scale(hi - lo, o + lo, 1.0f / z, o + lo);
     }
   });
   return out;

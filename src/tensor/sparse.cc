@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "tensor/simd.h"
 
 namespace cgnp {
 
@@ -49,15 +50,16 @@ void SparseMatrix::Multiply(const float* x, int64_t d, float* y) const {
   // work per chunk so small matrices stay on the calling thread.
   const int64_t avg_row_nnz =
       rows_ > 0 ? (nnz() + rows_ - 1) / rows_ : 0;
+  // Per-edge axpy over the whole row keeps the edge-order accumulation of
+  // the serial loop, so the per-level bitwise guarantee carries over.
+  const simd::SimdKernels* K = &simd::Kernels();
   ParallelFor(0, rows_, GrainForWork(d * (avg_row_nnz + 1)),
-              [this, x, d, y](int64_t lo, int64_t hi) {
+              [this, x, d, y, K](int64_t lo, int64_t hi) {
                 for (int64_t r = lo; r < hi; ++r) {
                   float* out = y + r * d;
                   for (int64_t j = 0; j < d; ++j) out[j] = 0.0f;
                   for (int64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-                    const float w = values_[e];
-                    const float* in = x + col_idx_[e] * d;
-                    for (int64_t j = 0; j < d; ++j) out[j] += w * in[j];
+                    K->axpy(d, values_[e], x + col_idx_[e] * d, out);
                   }
                 }
               });

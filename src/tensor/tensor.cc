@@ -10,6 +10,13 @@ namespace cgnp {
 
 namespace {
 thread_local bool g_grad_mode = true;
+
+// All TensorImpl nodes go through the workspace allocator so the control
+// block + node land in the active arena on the serve path (heap otherwise;
+// the allocator tags each block with its origin).
+std::shared_ptr<TensorImpl> NewImpl() {
+  return std::allocate_shared<TensorImpl>(WorkspaceAllocator<TensorImpl>());
+}
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
@@ -22,18 +29,20 @@ Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = shape;
-  impl->data.assign(impl->numel(), value);
+  impl->data.assign(static_cast<size_t>(impl->numel()), value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                           bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = shape;
-  impl->data = std::move(values);
+  // Copy (not move): `values` is plain-heap-allocated, impl->data is
+  // workspace-backed.
+  impl->data.assign(values.begin(), values.end());
   CGNP_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel())
       << " in Tensor::FromVector";
   impl->requires_grad = requires_grad;
@@ -93,13 +102,13 @@ const float* Tensor::data() const {
   return impl_->data.data();
 }
 
-const std::vector<float>& Tensor::grad() const {
+const FloatVec& Tensor::grad() const {
   CGNP_CHECK(Defined());
   CGNP_CHECK(!impl_->grad.empty()) << " gradient not populated";
   return impl_->grad;
 }
 
-std::vector<float>& Tensor::mutable_grad() {
+FloatVec& Tensor::mutable_grad() {
   CGNP_CHECK(Defined());
   impl_->EnsureGrad();
   return impl_->grad;
@@ -166,7 +175,7 @@ void Tensor::ZeroGrad() {
 
 Tensor Tensor::Detach() const {
   CGNP_CHECK(Defined());
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = impl_->shape;
   impl->data = impl_->data;
   impl->requires_grad = false;
@@ -175,7 +184,7 @@ Tensor Tensor::Detach() const {
 
 Tensor Tensor::Clone() const {
   CGNP_CHECK(Defined());
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = impl_->shape;
   impl->data = impl_->data;
   impl->requires_grad = impl_->requires_grad;
@@ -203,16 +212,12 @@ std::string Tensor::ToString() const {
 
 namespace internal {
 
-Tensor MakeOpOutput(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
-                    std::function<void(TensorImpl&)> backward_fn) {
-  auto impl = std::make_shared<TensorImpl>();
+Tensor NewOpNode(Shape shape, bool record, ParentVec parents,
+                 std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = NewImpl();
   impl->shape = std::move(shape);
-  impl->data.assign(impl->numel(), 0.0f);
-  bool any_grad = false;
-  for (const auto& p : parents) {
-    if (p && p->requires_grad) any_grad = true;
-  }
-  if (GradModeEnabled() && any_grad) {
+  impl->data.assign(static_cast<size_t>(impl->numel()), 0.0f);
+  if (record) {
     impl->requires_grad = true;
     impl->parents = std::move(parents);
     impl->backward_fn = std::move(backward_fn);

@@ -16,23 +16,34 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/rng.h"
+#include "tensor/workspace.h"
 
 namespace cgnp {
 
-using Shape = std::vector<int64_t>;
+// All per-tensor storage (shape, data, grad, parent links, and the
+// TensorImpl node itself) goes through WorkspaceAllocator: ordinary heap
+// by default, the thread's bump arena inside a WorkspaceScope (the serve
+// path). See workspace.h for the lifetime rules.
+using Shape = std::vector<int64_t, WorkspaceAllocator<int64_t>>;
+
+struct TensorImpl;
+using ParentVec =
+    std::vector<std::shared_ptr<TensorImpl>,
+                WorkspaceAllocator<std::shared_ptr<TensorImpl>>>;
 
 // Internal node of the autograd tape. Users interact with Tensor instead.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  FloatVec data;
   bool requires_grad = false;
-  std::vector<float> grad;  // same size as data once allocated
+  FloatVec grad;  // same size as data once allocated
   // Parents in the computation graph plus the closure that routes this
   // node's gradient into theirs.
-  std::vector<std::shared_ptr<TensorImpl>> parents;
+  ParentVec parents;
   std::function<void(TensorImpl&)> backward_fn;
 
   int64_t numel() const {
@@ -93,8 +104,8 @@ class Tensor {
   float* data();
   const float* data() const;
   // Gradient buffer (must have been allocated by a Backward pass).
-  const std::vector<float>& grad() const;
-  std::vector<float>& mutable_grad();
+  const FloatVec& grad() const;
+  FloatVec& mutable_grad();
 
   // Element access (bounds-checked).
   float At(int64_t i) const;
@@ -124,10 +135,32 @@ class Tensor {
 };
 
 namespace internal {
-// Creates an op output node: allocates data, and if grad mode is on and any
-// parent requires grad, wires the tape. Shared by all ops.
-Tensor MakeOpOutput(Shape shape, std::vector<std::shared_ptr<TensorImpl>> parents,
-                    std::function<void(TensorImpl&)> backward_fn);
+
+// Allocates an op output node (zero-filled, WorkspaceAllocator-backed).
+// When `record` is true the node joins the tape with the given parents
+// and backward closure.
+Tensor NewOpNode(Shape shape, bool record, ParentVec parents,
+                 std::function<void(TensorImpl&)> backward_fn);
+
+// Creates an op output node: allocates data, and if grad mode is on and
+// any parent requires grad, wires the tape. Shared by all ops. Template
+// so the inference path (NoGradGuard -- the serve decoder) never converts
+// the backward lambda into a std::function, which would heap-allocate per
+// op even though the tape is discarded.
+template <typename BackwardFn>
+Tensor MakeOpOutput(Shape shape, ParentVec parents, BackwardFn&& backward_fn) {
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) any_grad = true;
+  }
+  if (GradModeEnabled() && any_grad) {
+    return NewOpNode(std::move(shape), true, std::move(parents),
+                     std::function<void(TensorImpl&)>(
+                         std::forward<BackwardFn>(backward_fn)));
+  }
+  return NewOpNode(std::move(shape), false, {}, nullptr);
+}
+
 }  // namespace internal
 
 }  // namespace cgnp

@@ -1,0 +1,167 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace cgnp {
+
+namespace {
+
+constexpr size_t kAlign = 16;
+constexpr size_t kMinBlockBytes = size_t{1} << 20;  // 1 MiB
+
+// Allocation tags. Anything else under a freed pointer means the header
+// was clobbered -- most likely a container that outlived its scope and is
+// now freeing memory the arena already recycled.
+constexpr uint64_t kHeapMagic = 0xC64E'11EA'9000'0001ull;
+constexpr uint64_t kArenaMagic = 0xC64E'11EA'A4E4'0002ull;
+
+struct alignas(kAlign) AllocHeader {
+  uint64_t magic;
+  uint64_t bytes;
+};
+static_assert(sizeof(AllocHeader) == kAlign, "header must preserve alignment");
+
+size_t AlignUp(size_t v) { return (v + (kAlign - 1)) & ~(kAlign - 1); }
+
+thread_local Workspace* t_active = nullptr;
+
+// Process-wide high-water mark across every thread's arena (bytes used by
+// the largest single scope seen so far). Mirrored into the gauge.
+std::atomic<uint64_t> g_process_hwm{0};
+
+obs::Gauge& BytesGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_bytes");
+  return g;
+}
+
+obs::Gauge& HwmGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_hwm");
+  return g;
+}
+
+void PublishHighWater(size_t cycle_used) {
+  uint64_t seen = g_process_hwm.load(std::memory_order_relaxed);
+  while (cycle_used > seen &&
+         !g_process_hwm.compare_exchange_weak(seen, cycle_used,
+                                              std::memory_order_relaxed)) {
+  }
+  if (cycle_used > seen) HwmGauge().Set(static_cast<double>(cycle_used));
+}
+
+}  // namespace
+
+Workspace::~Workspace() {
+  size_t reserved = 0;
+  for (Block& b : blocks_) {
+    reserved += b.size;
+    ::operator delete(b.data);
+  }
+  if (reserved > 0) BytesGauge().Add(-static_cast<double>(reserved));
+}
+
+void* Workspace::Allocate(size_t bytes) {
+  const size_t need = AlignUp(bytes);
+  // Retained blocks first (used is 0 after a Reset): the steady state
+  // never reaches the growth branch below.
+  while (cursor_ < blocks_.size()) {
+    Block& b = blocks_[cursor_];
+    if (b.size - b.used >= need) {
+      void* p = static_cast<char*>(b.data) + b.used;
+      b.used += need;
+      return p;
+    }
+    ++cursor_;
+  }
+  // Warmup growth: geometric so a serve process converges to O(1) blocks.
+  size_t block_size = kMinBlockBytes;
+  if (!blocks_.empty()) block_size = blocks_.back().size * 2;
+  block_size = std::max(block_size, need);
+  Block b;
+  b.data = ::operator new(block_size);
+  b.size = block_size;
+  b.used = need;
+  blocks_.push_back(b);
+  cursor_ = blocks_.size() - 1;
+  BytesGauge().Add(static_cast<double>(block_size));
+  return b.data;
+}
+
+void Workspace::Reset() {
+  size_t cycle_used = 0;
+  for (Block& b : blocks_) {
+    cycle_used += b.used;
+    b.used = 0;
+  }
+  cursor_ = 0;
+  high_water_ = std::max(high_water_, cycle_used);
+  PublishHighWater(cycle_used);
+}
+
+Workspace::Stats Workspace::stats() const {
+  Stats s;
+  for (const Block& b : blocks_) {
+    s.reserved_bytes += b.size;
+    s.used_bytes += b.used;
+  }
+  s.high_water = high_water_;
+  s.blocks = blocks_.size();
+  return s;
+}
+
+Workspace* Workspace::ThreadLocal() {
+  thread_local Workspace ws;
+  return &ws;
+}
+
+Workspace* Workspace::Active() { return t_active; }
+
+void* WsAlloc(size_t bytes) {
+  CGNP_CHECK_LE(bytes, SIZE_MAX - sizeof(AllocHeader)) << " allocation overflow";
+  const size_t total = sizeof(AllocHeader) + bytes;
+  AllocHeader* h;
+  if (Workspace* ws = t_active) {
+    h = static_cast<AllocHeader*>(ws->Allocate(total));
+    h->magic = kArenaMagic;
+  } else {
+    h = static_cast<AllocHeader*>(::operator new(total));
+    h->magic = kHeapMagic;
+  }
+  h->bytes = bytes;
+  return h + 1;
+}
+
+void WsFree(void* p) noexcept {
+  if (p == nullptr) return;
+  AllocHeader* h = static_cast<AllocHeader*>(p) - 1;
+  if (h->magic == kArenaMagic) return;  // reclaimed wholesale at Reset
+  CGNP_CHECK_EQ(h->magic, kHeapMagic)
+      << " workspace allocation header clobbered (use-after-reset?)";
+  ::operator delete(h);
+}
+
+WorkspaceScope::WorkspaceScope() {
+  if (t_active == nullptr) {
+    t_active = Workspace::ThreadLocal();
+    activated_ = true;
+  }
+}
+
+WorkspaceScope::~WorkspaceScope() {
+  if (!activated_) return;
+  t_active->Reset();
+  t_active = nullptr;
+}
+
+WorkspacePause::WorkspacePause() : saved_(t_active) { t_active = nullptr; }
+
+WorkspacePause::~WorkspacePause() { t_active = saved_; }
+
+}  // namespace cgnp

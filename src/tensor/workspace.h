@@ -1,0 +1,158 @@
+// Per-thread bump arena backing the serve-path tensor substrate.
+//
+// The decoder hot path (encode once, then a dense/sparse pass per query)
+// used to heap-allocate every intermediate tensor. A Workspace is a
+// thread-local region the tensor substrate bump-allocates from instead:
+// a WorkspaceScope activates the calling thread's arena for the duration
+// of one query, and its destructor resets the arena -- the blocks are
+// RETAINED, so after a warmup query has grown the arena to its high-water
+// mark, steady-state serving performs zero heap allocation.
+//
+// How mixed lifetimes stay safe: every allocation (arena or heap) is
+// prefixed with a tagged header. Deallocation dispatches on the tag --
+// heap blocks go back to operator delete, arena blocks are a no-op (the
+// scope reclaims them wholesale), and an unrecognized tag is a loud
+// CGNP_CHECK failure, which turns use-after-reset and stray frees into
+// immediate crashes instead of silent corruption.
+//
+// Lifetime rules (see docs/KERNELS.md):
+//   * A tensor created while a WorkspaceScope is active lives in the
+//     arena and MUST NOT outlive the scope. Results that escape a query
+//     (response vectors, cached contexts) must be copied into ordinary
+//     heap storage first -- ContextCache::Put deep-copies under a
+//     WorkspacePause for exactly this reason.
+//   * Scopes do not nest meaningfully: an inner WorkspaceScope on a
+//     thread whose arena is already active is a no-op, so a serve-path
+//     caller wrapping engine code that also opens a scope is fine.
+//   * WorkspacePause deactivates the arena over a region so allocations
+//     inside it go to the heap (for exactly the escape copies above).
+//
+// Observability: cgnp_workspace_bytes (gauge) tracks the total reserved
+// arena bytes across all threads; cgnp_workspace_hwm (gauge) tracks the
+// largest per-query arena footprint seen process-wide. A serving process
+// is warmed up exactly when both stop moving (tests/workspace_test.cc,
+// tests/serve_test.cc assert this).
+#ifndef CGNP_TENSOR_WORKSPACE_H_
+#define CGNP_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cgnp {
+
+// The arena. Not thread-safe: each instance belongs to one thread
+// (ThreadLocal()), and all members are called from that thread only.
+class Workspace {
+ public:
+  struct Stats {
+    size_t reserved_bytes = 0;  // heap bytes held in blocks
+    size_t used_bytes = 0;      // bytes handed out since the last Reset
+    size_t high_water = 0;      // max used_bytes observed at Reset time
+    size_t blocks = 0;
+  };
+
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Bump-allocates `bytes` (16-byte aligned). Grows by appending a block
+  // (geometric, >= 1 MiB) only when the retained blocks are exhausted --
+  // the warmup path. Never returns nullptr.
+  void* Allocate(size_t bytes);
+
+  // Reclaims everything handed out since the last Reset. Blocks are
+  // retained for reuse; records the cycle's footprint into high_water
+  // and the process-wide cgnp_workspace_hwm gauge.
+  void Reset();
+
+  Stats stats() const;
+
+  // This thread's arena (created on first use, lives for the thread).
+  static Workspace* ThreadLocal();
+
+  // The arena activated on this thread by a WorkspaceScope, or nullptr
+  // when allocations should go to the heap.
+  static Workspace* Active();
+
+ private:
+  friend class WorkspaceScope;
+  friend class WorkspacePause;
+
+  struct Block {
+    void* data = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t cursor_ = 0;  // index of the block currently bumping
+  size_t high_water_ = 0;
+};
+
+// Allocation entry points used by WorkspaceAllocator: arena-backed when a
+// scope is active on this thread, ordinary heap otherwise. WsFree accepts
+// pointers from either path (tagged-header dispatch).
+void* WsAlloc(size_t bytes);
+void WsFree(void* p) noexcept;
+
+// Activates Workspace::ThreadLocal() for this thread; the destructor
+// resets the arena and publishes the footprint gauges. No-op when an
+// arena is already active (outermost scope owns the reset).
+class WorkspaceScope {
+ public:
+  WorkspaceScope();
+  ~WorkspaceScope();
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  bool activated_ = false;
+};
+
+// Suspends the active arena over a region: allocations inside go to the
+// heap and survive the scope. Used for the sanctioned escapes (caching a
+// context, building a response that outlives the query).
+class WorkspacePause {
+ public:
+  WorkspacePause();
+  ~WorkspacePause();
+  WorkspacePause(const WorkspacePause&) = delete;
+  WorkspacePause& operator=(const WorkspacePause&) = delete;
+
+ private:
+  Workspace* saved_ = nullptr;
+};
+
+// Standard-allocator shim over WsAlloc/WsFree. Stateless: all instances
+// are interchangeable, so containers move freely between arena-active and
+// heap-only contexts (the per-allocation tag remembers the origin).
+template <typename T>
+struct WorkspaceAllocator {
+  using value_type = T;
+
+  WorkspaceAllocator() = default;
+  template <typename U>
+  WorkspaceAllocator(const WorkspaceAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(WsAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept { WsFree(p); }
+};
+
+template <typename A, typename B>
+bool operator==(const WorkspaceAllocator<A>&, const WorkspaceAllocator<B>&) {
+  return true;
+}
+template <typename A, typename B>
+bool operator!=(const WorkspaceAllocator<A>&, const WorkspaceAllocator<B>&) {
+  return false;
+}
+
+// The float buffer type of the tensor substrate (tensor.h data/grad).
+using FloatVec = std::vector<float, WorkspaceAllocator<float>>;
+
+}  // namespace cgnp
+
+#endif  // CGNP_TENSOR_WORKSPACE_H_

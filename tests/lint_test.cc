@@ -200,6 +200,38 @@ TEST(IncludeHygiene, ForbidsSrcIncludingTests) {
                          "src/graph/algo.cc", 2));
 }
 
+// --- cgnp-no-raw-intrinsics -------------------------------------------------
+
+TEST(NoRawIntrinsics, FlagsVendorHeadersOutsideTheDispatchLayer) {
+  const Files files = {
+      {"src/nn/fast_linear.cc",
+       "#include <immintrin.h>\n"
+       "void F();\n"},
+      {"src/graph/simd_csr.h", "#include <arm_neon.h>\n"},
+      {"tools/probe.cc", "#include <x86intrin.h>\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(HasFinding(report, "cgnp-no-raw-intrinsics",
+                         "src/nn/fast_linear.cc", 1))
+      << FormatReport(report, /*verbose=*/true);
+  EXPECT_TRUE(HasFinding(report, "cgnp-no-raw-intrinsics",
+                         "src/graph/simd_csr.h", 1));
+  // Tools are not exempt either: dispatch stays centralized everywhere.
+  EXPECT_TRUE(HasFinding(report, "cgnp-no-raw-intrinsics", "tools/probe.cc", 1));
+}
+
+TEST(NoRawIntrinsics, AllowsTheDispatchLayerItself) {
+  const Files files = {
+      {"src/tensor/simd.cc",
+       "#include \"tensor/simd.h\"\n"
+       "#include <immintrin.h>\n"
+       "#include <arm_neon.h>\n"},
+      {"src/tensor/simd.h", "int F();\n"},
+  };
+  const LintReport report = LintSources(files);
+  EXPECT_TRUE(report.clean()) << FormatReport(report, /*verbose=*/true);
+}
+
 // --- suppression bookkeeping ------------------------------------------------
 
 TEST(Suppressions, UnknownRuleNameIsAFinding) {

@@ -119,7 +119,7 @@ TEST(ParallelParity, SpmmBackwardBitwiseAcrossThreadCounts) {
     loss.Backward();
     return x.grad();
   };
-  const std::vector<float> serial = grad_with_threads(1);
+  const FloatVec serial = grad_with_threads(1);
   EXPECT_EQ(grad_with_threads(2), serial);
   EXPECT_EQ(grad_with_threads(8), serial);
 }

@@ -10,6 +10,7 @@
 #include "cs/ktruss_community.h"
 #include "data/synthetic.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "serve/context_cache.h"
 
 namespace cgnp {
@@ -271,6 +272,59 @@ TEST(QueryServerTest, StatsTrackRequestsAndCacheHits) {
   server.ResetStats();
   EXPECT_EQ(server.Stats().requests, 0u);
   EXPECT_DOUBLE_EQ(server.Stats().min_ms, 0.0);
+}
+
+TEST(QueryServerTest, WarmServingAllocatesNoNewWorkspaceBytes) {
+  // The zero-steady-state-allocation contract (docs/KERNELS.md): every
+  // per-query tensor allocation comes from the per-thread workspace arena,
+  // and arenas retain their blocks across queries -- so once every worker
+  // has served the workload once, repeating it reserves no new memory.
+  // cgnp_workspace_bytes sums live arena reservations process-wide and
+  // cgnp_workspace_hwm is the per-query usage high water; both must be
+  // flat across warm rounds at any thread count.
+  obs::Gauge& bytes =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_bytes");
+  obs::Gauge& hwm =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_hwm");
+  Graph g = PlantedGraph();
+  CommunitySearchEngine engine = TrainedEngine(g);
+
+  for (int threads : {1, 2, 8}) {
+    auto server_ptr = MakeServer(engine, threads, 16);
+    QueryServer& server = *server_ptr;
+    std::vector<SearchRequest> batch;
+    for (NodeId q = 0; q < NodeId(4 * threads); ++q) {
+      SearchRequest req;
+      req.graph = &g;
+      req.graph_id = 1;
+      req.query = q;
+      batch.push_back(req);
+    }
+    // Warm until reservations stop growing: the pool hands queries to
+    // workers nondeterministically, so loop until a full round leaves the
+    // gauge untouched (every worker arena now covers the per-query need).
+    double warm_bytes = -1.0;
+    for (int round = 0; round < 20 && bytes.Value() != warm_bytes; ++round) {
+      warm_bytes = bytes.Value();
+      for (const SearchResponse& r : server.ServeBatch(batch)) {
+        ASSERT_TRUE(r.status.ok()) << r.status;
+      }
+    }
+    ASSERT_EQ(bytes.Value(), warm_bytes) << "arenas never stabilized at "
+                                         << threads << " threads";
+    const double warm_hwm = hwm.Value();
+
+    // Steady state: the same workload, repeated, allocates zero new bytes.
+    for (int round = 0; round < 5; ++round) {
+      for (const SearchResponse& r : server.ServeBatch(batch)) {
+        ASSERT_TRUE(r.status.ok()) << r.status;
+      }
+      EXPECT_EQ(bytes.Value(), warm_bytes)
+          << threads << " threads, warm round " << round;
+      EXPECT_EQ(hwm.Value(), warm_hwm)
+          << threads << " threads, warm round " << round;
+    }
+  }  // server destruction joins the pool; dying arenas decrement the gauge
 }
 
 // --- Backend selection by registry name ------------------------------------

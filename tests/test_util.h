@@ -32,7 +32,7 @@ inline void CheckGradient(Tensor x, const std::function<Tensor()>& f,
   ASSERT_EQ(loss.numel(), 1);
   x.ZeroGrad();
   loss.Backward();
-  std::vector<float> analytic = x.grad();
+  std::vector<float> analytic(x.grad().begin(), x.grad().end());
 
   float* data = x.data();
   for (int64_t i = 0; i < x.numel(); ++i) {

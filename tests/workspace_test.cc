@@ -1,0 +1,158 @@
+// Workspace arena unit tests (tensor/workspace.h): bump allocation and
+// block retention across Reset, heap/arena tag dispatch on deallocation,
+// pause-based escapes, scope nesting, and the zero-steady-state-allocation
+// property the serve path relies on (reserved bytes stop growing after the
+// first identical cycle). The end-to-end serving proof lives in
+// serve_test.cc (workspace gauges across warm queries).
+#include "tensor/workspace.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace cgnp {
+namespace {
+
+TEST(Workspace, InactiveByDefaultAndHeapBacked) {
+  EXPECT_EQ(Workspace::Active(), nullptr);
+  // WsAlloc/WsFree work without a scope (plain heap, tagged).
+  void* p = WsAlloc(64);
+  ASSERT_NE(p, nullptr);
+  WsFree(p);
+}
+
+TEST(Workspace, ScopeActivatesThreadArenaAndResets) {
+  Workspace* arena = Workspace::ThreadLocal();
+  const size_t used_before = arena->stats().used_bytes;
+  {
+    WorkspaceScope scope;
+    EXPECT_EQ(Workspace::Active(), arena);
+    void* a = WsAlloc(100);
+    void* b = WsAlloc(100);
+    EXPECT_NE(a, b);
+    EXPECT_GT(arena->stats().used_bytes, used_before);
+    WsFree(a);  // arena-tagged: no-op
+    WsFree(b);
+  }
+  EXPECT_EQ(Workspace::Active(), nullptr);
+  EXPECT_EQ(Workspace::ThreadLocal()->stats().used_bytes, 0u);
+}
+
+TEST(Workspace, BlocksRetainedAcrossCycles) {
+  {
+    WorkspaceScope warm;
+    WsFree(WsAlloc(1 << 18));
+  }
+  const size_t reserved = Workspace::ThreadLocal()->stats().reserved_bytes;
+  EXPECT_GT(reserved, 0u);
+  // Identical cycles must not grow the arena: this is the zero-steady-
+  // state-heap-allocation property.
+  for (int i = 0; i < 16; ++i) {
+    WorkspaceScope scope;
+    for (int j = 0; j < 8; ++j) WsFree(WsAlloc(1 << 12));
+    WsFree(WsAlloc(1 << 18));
+  }
+  EXPECT_EQ(Workspace::ThreadLocal()->stats().reserved_bytes, reserved);
+  EXPECT_GE(Workspace::ThreadLocal()->stats().high_water, size_t{1} << 18);
+}
+
+TEST(Workspace, HeapAllocationsFreeCorrectlyInsideAScope) {
+  // A vector grown OUTSIDE any scope carries heap-tagged storage; freeing
+  // it while a scope is active must still go through operator delete
+  // (ASan would flag a mismatch).
+  auto* v = new FloatVec(1000, 1.5f);
+  {
+    WorkspaceScope scope;
+    delete v;
+    // And arena storage freed after leaving the region is a no-op.
+    FloatVec inside(2000, 2.0f);
+    EXPECT_EQ(inside[1999], 2.0f);
+  }
+}
+
+TEST(Workspace, PauseEscapesToHeap) {
+  FloatVec escaped;
+  {
+    WorkspaceScope scope;
+    const size_t used_mid = Workspace::ThreadLocal()->stats().used_bytes;
+    {
+      WorkspacePause heap;
+      EXPECT_EQ(Workspace::Active(), nullptr);
+      escaped.assign(4096, 3.0f);  // heap-tagged: survives the scope
+    }
+    EXPECT_EQ(Workspace::Active(), Workspace::ThreadLocal());
+    // The pause allocated nothing from the arena.
+    EXPECT_EQ(Workspace::ThreadLocal()->stats().used_bytes, used_mid);
+  }
+  EXPECT_EQ(escaped.size(), 4096u);
+  EXPECT_EQ(escaped[4095], 3.0f);
+}
+
+TEST(Workspace, InnerScopeIsANoOp) {
+  WorkspaceScope outer;
+  void* before = WsAlloc(64);
+  {
+    WorkspaceScope inner;  // must not reset the outer scope's arena
+  }
+  EXPECT_EQ(Workspace::Active(), Workspace::ThreadLocal());
+  // Memory allocated before the inner scope is still valid arena memory:
+  // the next allocation continues bumping, it does not restart at the
+  // same offset.
+  void* after = WsAlloc(64);
+  EXPECT_NE(before, after);
+  WsFree(before);
+  WsFree(after);
+}
+
+TEST(Workspace, ArenasArePerThread) {
+  Workspace* main_arena = Workspace::ThreadLocal();
+  Workspace* other_arena = nullptr;
+  std::thread t([&] { other_arena = Workspace::ThreadLocal(); });
+  t.join();
+  EXPECT_NE(main_arena, other_arena);
+}
+
+TEST(Workspace, TensorsUseTheArenaInsideAScope) {
+  // Tensor substrate allocations (impl + data) must come from the arena
+  // when a scope is active.
+  WorkspaceScope scope;
+  const size_t base = Workspace::ThreadLocal()->stats().used_bytes;
+  Tensor t = Tensor::Full({64, 64}, 1.0f);
+  const size_t after = Workspace::ThreadLocal()->stats().used_bytes;
+  EXPECT_GE(after - base, 64u * 64u * sizeof(float));
+  Tensor u = Add(t, t);
+  EXPECT_GT(Workspace::ThreadLocal()->stats().used_bytes, after);
+  EXPECT_EQ(u.At(0, 0), 2.0f);
+}
+
+TEST(Workspace, GaugesTrackReservationAndHighWater) {
+  obs::Gauge& bytes =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_bytes");
+  obs::Gauge& hwm =
+      obs::MetricsRegistry::Default().GetGauge("cgnp_workspace_hwm");
+  {
+    WorkspaceScope scope;
+    WsFree(WsAlloc(1 << 16));
+  }
+  EXPECT_GE(bytes.Value(),
+            static_cast<double>(
+                Workspace::ThreadLocal()->stats().reserved_bytes));
+  EXPECT_GE(hwm.Value(), static_cast<double>(1 << 16));
+  // Warm cycles leave both gauges unchanged.
+  const double bytes_warm = bytes.Value();
+  const double hwm_warm = hwm.Value();
+  for (int i = 0; i < 8; ++i) {
+    WorkspaceScope scope;
+    WsFree(WsAlloc(1 << 16));
+  }
+  EXPECT_EQ(bytes.Value(), bytes_warm);
+  EXPECT_EQ(hwm.Value(), hwm_warm);
+}
+
+}  // namespace
+}  // namespace cgnp

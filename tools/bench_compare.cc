@@ -202,6 +202,9 @@ int main(int argc, char** argv) {
 
   const CompareResult result = CompareReports(baseline, current, options);
 
+  for (const std::string& note : result.host_notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
   std::printf("%-62s %-22s %12s %12s %10s  %s\n", "case", "metric",
               "baseline", "current", "delta", "verdict");
   int shown = 0;
